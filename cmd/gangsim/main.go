@@ -1,0 +1,158 @@
+// Command gangsim runs one gang-scheduling experiment — two instances of a
+// chosen NPB2-like workload under a chosen paging policy — and prints the
+// resulting completion times and paging statistics.
+//
+// Usage:
+//
+//	gangsim -app LU -class B -ranks 1 -policy so/ao/ai/bg [-batch] \
+//	        [-quantum 5m] [-seed 1] [-compare]
+//
+// With -compare, it also runs the batch baseline and the original policy
+// and reports switching overhead and paging reduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	gangsched "repro"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/gang"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gangsim: ")
+	app := flag.String("app", "LU", "benchmark: LU, SP, CG, IS or MG")
+	class := flag.String("class", "B", "NPB data class (A, B or C)")
+	ranks := flag.Int("ranks", 1, "machines / ranks per job")
+	policy := flag.String("policy", "so/ao/ai/bg", "paging policy combination (orig, ai, so, so/ao, so/ao/bg, so/ao/ai/bg)")
+	batch := flag.Bool("batch", false, "run the jobs back to back instead of gang-scheduled")
+	compare := flag.Bool("compare", false, "also run batch and orig, report overhead and reduction")
+	quantum := flag.Duration("quantum", 5*time.Minute, "gang time quantum")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	showTrace := flag.Bool("trace", false, "print a coarse page-in activity chart for node 0")
+	configPath := flag.String("config", "", "run a custom experiment from a JSON spec file instead of -app/-class/-ranks")
+	ganttPath := flag.String("gantt", "", "write the gang schedule timeline as an SVG to this file")
+	flag.Parse()
+
+	if *configPath != "" {
+		runConfig(*configPath)
+		return
+	}
+
+	m, err := workload.Get(workload.App(*app), workload.Class(*class), *ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	features, err := core.ParseFeatures(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := expt.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Quantum = sim.DurationOf(*quantum)
+
+	mode := gang.Gang
+	if *batch {
+		mode = gang.Batch
+	}
+	if *showTrace {
+		cfg.TraceBin = sim.Second
+	}
+	res, rec, err := cfg.RunPairTraced(m, features, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRun(m, res)
+	if *ganttPath != "" {
+		if err := writeGantt(*ganttPath, res); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("schedule timeline written to %s", *ganttPath)
+	}
+	if *showTrace && rec != nil {
+		fmt.Println(rec.Series("pagein_kb").ASCII(30, 60))
+		fmt.Println(rec.Series("pageout_kb").ASCII(30, 60))
+	}
+
+	if !*compare || *batch {
+		return
+	}
+	batchRes, err := cfg.RunPair(m, core.Orig, gang.Batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	origRes := res
+	if features.Any() {
+		if origRes, err = cfg.RunPair(m, core.Orig, gang.Gang); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nbatch    %8.0fs\n", batchRes.Makespan.Seconds())
+	fmt.Printf("orig     %8.0fs  overhead %s\n", origRes.Makespan.Seconds(),
+		metrics.Pct(metrics.SwitchingOverhead(origRes.Makespan, batchRes.Makespan)))
+	if features.Any() {
+		fmt.Printf("%-8s %8.0fs  overhead %s  reduction %s\n", features,
+			res.Makespan.Seconds(),
+			metrics.Pct(metrics.SwitchingOverhead(res.Makespan, batchRes.Makespan)),
+			metrics.Pct(metrics.PagingReduction(origRes.Makespan, res.Makespan, batchRes.Makespan)))
+	}
+}
+
+// writeGantt renders the run's schedule timeline as an SVG file.
+func writeGantt(path string, res metrics.RunResult) error {
+	names := make([]string, len(res.Timeline))
+	starts := make([]float64, len(res.Timeline))
+	ends := make([]float64, len(res.Timeline))
+	for i, iv := range res.Timeline {
+		names[i] = iv.Job
+		starts[i] = iv.Start.Seconds()
+		ends[i] = iv.End.Seconds()
+	}
+	svg := plot.Gantt(plot.GanttFromIntervals(names, starts, ends), plot.GanttOptions{
+		Title:  "Gang schedule timeline (" + res.Policy + ")",
+		XLabel: "time (s)",
+	})
+	return os.WriteFile(path, []byte(svg), 0o644)
+}
+
+// runConfig executes a JSON experiment spec through the public API.
+func runConfig(path string) {
+	spec, err := gangsched.LoadSpec(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := gangsched.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom experiment %s, policy %s (%s)\n", path, res.Policy, res.Mode)
+	for _, j := range res.Jobs {
+		fmt.Printf("  %-12s finished at %8.0fs\n", j.Name, j.FinishedAt.Seconds())
+	}
+	fmt.Printf("  makespan %.0fs, %d switches, %d pages moved\n",
+		res.Makespan.Seconds(), res.Switches, res.TotalPagesMoved())
+}
+
+func printRun(m workload.Model, res metrics.RunResult) {
+	fmt.Printf("%s class %s on %d machine(s), policy %s (%s)\n",
+		m.App, m.Class, m.Ranks, res.Policy, res.Mode)
+	for _, j := range res.Jobs {
+		fmt.Printf("  %-8s finished at %8.0fs\n", j.Name, j.FinishedAt.Seconds())
+	}
+	fmt.Printf("  makespan %.0fs, %d switches\n", res.Makespan.Seconds(), res.Switches)
+	for i, n := range res.Nodes {
+		fmt.Printf("  node %d: in %dp out %dp bg %dp majflt %d stall %.0fs diskbusy %.0fs seeks %d\n",
+			i, n.PagesIn, n.PagesOut, n.BGPagesOut, n.MajorFaults,
+			n.FaultStall.Seconds(), n.DiskBusy.Seconds(), n.DiskSeeks)
+	}
+}

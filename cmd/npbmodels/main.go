@@ -1,0 +1,38 @@
+// Command npbmodels lists the calibrated NPB2 workload models: footprints,
+// lock sizes, reference structure and derived quantities (working set,
+// pure-compute runtime, touches per iteration). Useful when adding new
+// configurations or auditing the calibration against DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print the segment structure")
+	flag.Parse()
+
+	fmt.Printf("%-4s %-5s %5s %7s %7s %6s %6s %7s %9s %8s\n",
+		"app", "class", "ranks", "foot_MB", "avail_MB", "iters", "dirty", "scatter", "compute_s", "ws_pages")
+	for _, m := range workload.Available() {
+		beh := m.Behavior()
+		compute := sim.Duration(beh.TouchesPerIteration()) * beh.TouchCost * sim.Duration(beh.Iterations)
+		fmt.Printf("%-4s %-5s %5d %7d %7d %6d %6.2f %7d %9.0f %8d\n",
+			m.App, m.Class, m.Ranks, m.FootprintMB, m.AvailMB, m.Iterations,
+			m.DirtyFrac, m.ScatterChunks, compute.Seconds(), beh.WorkingSetPages())
+		if *verbose {
+			for i, s := range beh.Segments {
+				fmt.Printf("    seg %3d: pages [%6d,%6d) write=%-5v passes=%d\n",
+					i, s.Offset, s.Offset+s.Pages, s.Write, s.Passes)
+				if i >= 7 && len(beh.Segments) > 10 {
+					fmt.Printf("    ... (%d segments total)\n", len(beh.Segments))
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command pagetrace reproduces the paper's Figure 6: paging-activity
+// traces of two gang-scheduled LU class C instances on four machines under
+// a chosen adaptive-paging policy, rendered as CSV (for plotting) or a
+// coarse ASCII chart.
+//
+// Usage:
+//
+//	pagetrace [-policy orig|so|so/ao|so/ao/ai/bg] [-window 50m]
+//	          [-node 0] [-format csv|ascii] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pagetrace: ")
+	policy := flag.String("policy", "orig", "paging policy combination")
+	window := flag.Duration("window", 50*time.Minute, "observation window (paper: first 50 minutes)")
+	node := flag.Int("node", 0, "which machine's trace to print (0-3)")
+	format := flag.String("format", "csv", "output format: csv or ascii")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	want, err := core.ParseFeatures(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := expt.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TraceBin = sim.Second
+
+	results, err := expt.Figure6(cfg, sim.DurationOf(*window))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Policy != want.String() {
+			continue
+		}
+		if *node < 0 || *node >= len(r.Nodes) {
+			log.Fatalf("node %d out of range (cluster has %d)", *node, len(r.Nodes))
+		}
+		rec := r.Nodes[*node]
+		switch *format {
+		case "csv":
+			fmt.Print(rec.CSV(cluster.SeriesPageInKB, cluster.SeriesPageOutKB))
+		case "ascii":
+			fmt.Println(rec.Series(cluster.SeriesPageInKB).ASCII(30, 60))
+			fmt.Println(rec.Series(cluster.SeriesPageOutKB).ASCII(30, 60))
+		default:
+			log.Fatalf("unknown format %q", *format)
+		}
+		fmt.Printf("# policy=%s active_seconds=%d peak=%.0fKB/s\n", r.Policy, r.ActiveSeconds, r.PeakKBps)
+		return
+	}
+	log.Fatalf("policy %q is not one of Figure 6's traces (orig, so, so/ao, so/ao/ai/bg)", *policy)
+}

@@ -1,0 +1,41 @@
+// Policysweep reproduces the paper's Figure 9 (serial column) through the
+// public API: LU class B under every combination of the four adaptive
+// paging mechanisms, compared against the original algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gangsched "repro"
+)
+
+func main() {
+	lu, availMB := gangsched.NPB(gangsched.LU, gangsched.ClassB, 1)
+	base := gangsched.Spec{
+		Nodes:    1,
+		MemoryMB: 1024,
+		LockedMB: 1024 - availMB,
+		Quantum:  5 * time.Minute,
+		Jobs: []gangsched.JobSpec{
+			{Name: "LU-1", Workload: lu, HintWorkingSet: true},
+			{Name: "LU-2", Workload: lu, HintWorkingSet: true},
+		},
+	}
+
+	fmt.Printf("%-12s %9s %10s %10s\n", "policy", "time_s", "overhead", "reduction")
+	for _, policy := range []string{"orig", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg"} {
+		spec := base
+		spec.Policy = policy
+		cmp, err := gangsched.Compare(spec)
+		if err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+		fmt.Printf("%-12s %9.0f %9.1f%% %9.1f%%\n",
+			policy,
+			cmp.Policy.Makespan.Seconds(),
+			100*cmp.SwitchingOverheadPolicy,
+			100*cmp.PagingReduction)
+	}
+}

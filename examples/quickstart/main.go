@@ -1,0 +1,47 @@
+// Quickstart: gang-schedule two LU instances on one over-committed machine
+// and measure what the paper's adaptive paging buys at each job switch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gangsched "repro"
+)
+
+func main() {
+	// The calibrated NPB2 LU class B model: ~190 MB footprint; the paper's
+	// setup leaves 238 MB of the 1 GB machine unlocked so two instances
+	// over-commit memory.
+	lu, availMB := gangsched.NPB(gangsched.LU, gangsched.ClassB, 1)
+
+	spec := gangsched.Spec{
+		Nodes:    1,
+		MemoryMB: 1024,
+		LockedMB: 1024 - availMB,
+		Policy:   "so/ao/ai/bg", // all four mechanisms
+		Quantum:  5 * time.Minute,
+		Jobs: []gangsched.JobSpec{
+			{Name: "LU-1", Workload: lu, HintWorkingSet: true},
+			{Name: "LU-2", Workload: lu, HintWorkingSet: true},
+		},
+	}
+
+	cmp, err := gangsched.Compare(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Two gang-scheduled LU class B instances, one machine, 5-minute quanta")
+	fmt.Printf("  batch (no switching):  %7.0f s\n", cmp.Batch.Makespan.Seconds())
+	fmt.Printf("  original LRU paging:   %7.0f s  (switching overhead %.1f%%)\n",
+		cmp.Orig.Makespan.Seconds(), 100*cmp.SwitchingOverheadOrig)
+	fmt.Printf("  so/ao/ai/bg adaptive:  %7.0f s  (switching overhead %.1f%%)\n",
+		cmp.Policy.Makespan.Seconds(), 100*cmp.SwitchingOverheadPolicy)
+	fmt.Printf("  job-switch paging time reduced by %.1f%%\n", 100*cmp.PagingReduction)
+
+	node := cmp.Policy.Nodes[0]
+	fmt.Printf("\nadaptive run paging: %d pages in, %d out (+%d by the background writer), %d major faults\n",
+		node.PagesIn, node.PagesOut, node.BGPagesOut, node.MajorFaults)
+}

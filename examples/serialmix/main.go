@@ -1,0 +1,47 @@
+// Serialmix reproduces the paper's serial experiment (Figure 7) through
+// the public API: for each NPB2 class B program, two instances are
+// gang-scheduled on one machine and the adaptive policy is compared with
+// the original algorithm and a batch baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gangsched "repro"
+)
+
+func main() {
+	apps := []struct{ name string }{
+		{"LU"}, {"SP"}, {"CG"}, {"IS"}, {"MG"},
+	}
+	fmt.Printf("%-4s %9s %9s %9s %10s %10s %10s\n",
+		"app", "batch_s", "orig_s", "adapt_s", "orig_ovhd", "adpt_ovhd", "reduction")
+	for _, a := range apps {
+		beh, availMB := gangsched.NPB(gangsched.App(a.name), gangsched.ClassB, 1)
+		spec := gangsched.Spec{
+			Nodes:    1,
+			MemoryMB: 1024,
+			LockedMB: 1024 - availMB,
+			Policy:   "so/ao/ai/bg",
+			Quantum:  5 * time.Minute,
+			Jobs: []gangsched.JobSpec{
+				{Name: a.name + "-1", Workload: beh, HintWorkingSet: true},
+				{Name: a.name + "-2", Workload: beh, HintWorkingSet: true},
+			},
+		}
+		cmp, err := gangsched.Compare(spec)
+		if err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		fmt.Printf("%-4s %9.0f %9.0f %9.0f %9.1f%% %9.1f%% %9.1f%%\n",
+			a.name,
+			cmp.Batch.Makespan.Seconds(),
+			cmp.Orig.Makespan.Seconds(),
+			cmp.Policy.Makespan.Seconds(),
+			100*cmp.SwitchingOverheadOrig,
+			100*cmp.SwitchingOverheadPolicy,
+			100*cmp.PagingReduction)
+	}
+}

@@ -1,0 +1,247 @@
+// Package gangsched is a simulation library reproducing "Adaptive Memory
+// Paging for Efficient Gang Scheduling of Parallel Applications" (Ryu,
+// Pachapurkar, Fong; IBM Research Report / IPPS 2004).
+//
+// It models a cluster of machines — physical memory with Linux 2.2-style
+// watermarks and page aging, a paging disk, swap space, demand paging with
+// grouped read-ahead — gang-scheduled between parallel jobs, and implements
+// the paper's four adaptive paging mechanisms: selective page-out,
+// aggressive page-out, adaptive page-in and background writing.
+//
+// # Quick start
+//
+// Describe a cluster and jobs with a Spec and call Run:
+//
+//	spec := gangsched.Spec{
+//		Nodes:    1,
+//		MemoryMB: 1024,
+//		LockedMB: 786,
+//		Policy:   "so/ao/ai/bg",
+//		Quantum:  5 * time.Minute,
+//		Jobs: []gangsched.JobSpec{
+//			{Name: "a", Workload: gangsched.NPB(gangsched.LU, gangsched.ClassB, 1)},
+//			{Name: "b", Workload: gangsched.NPB(gangsched.LU, gangsched.ClassB, 1)},
+//		},
+//	}
+//	res, err := gangsched.Run(spec)
+//
+// The result carries per-job completion times and per-node paging
+// statistics. For the paper's experiments use the runners in
+// internal/expt via cmd/figures, or the compare helpers here.
+package gangsched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// App names an NPB2 benchmark program (LU, SP, CG, IS, MG).
+type App = workload.App
+
+// Class is an NPB data class (A, B, C).
+type Class = workload.Class
+
+// Re-exported workload identifiers.
+const (
+	LU = workload.LU
+	SP = workload.SP
+	CG = workload.CG
+	IS = workload.IS
+	MG = workload.MG
+
+	ClassA = workload.ClassA
+	ClassB = workload.ClassB
+	ClassC = workload.ClassC
+)
+
+// Behavior describes a job's per-rank memory reference pattern; it is the
+// process model's native type (see internal/proc).
+type Behavior = proc.Behavior
+
+// Segment is one touch range of a Behavior.
+type Segment = proc.Segment
+
+// Result is the outcome of a run (see internal/metrics).
+type Result = metrics.RunResult
+
+// NPB returns the calibrated synthetic model of a NAS NPB2 program as a
+// Behavior plus the memory size (MB) the paper's experiments leave
+// available on each node. It panics on unknown configurations; the modelled
+// set is the paper's: serial class B for all five programs, 2- and 4-rank
+// parallel variants per Figure 8.
+func NPB(app workload.App, class workload.Class, ranks int) (Behavior, int) {
+	m := workload.MustGet(app, class, ranks)
+	return m.Behavior(), m.AvailMB
+}
+
+// JobSpec places one job on every node of the cluster.
+type JobSpec struct {
+	Name     string
+	Workload Behavior
+	// Quantum overrides Spec.Quantum for this job when positive.
+	Quantum time.Duration
+	// HintWorkingSet passes the behaviour's working-set size through the
+	// adaptive-paging kernel API, as the paper's scheduler does. When
+	// false the kernel estimates it from the previous quantum.
+	HintWorkingSet bool
+}
+
+// Spec describes a whole experiment.
+type Spec struct {
+	Seed  int64
+	Nodes int
+
+	MemoryMB int // physical memory per node (default 1024)
+	LockedMB int // memory wired down to force over-commit
+
+	// Policy is the adaptive paging combination in the paper's notation:
+	// "orig", "ai", "so", "so/ao", "so/ao/bg" or "so/ao/ai/bg".
+	Policy string
+
+	// Batch runs the jobs back to back instead of gang-scheduling them.
+	Batch bool
+
+	Quantum         time.Duration // default 5 minutes
+	BGWriteFraction float64       // default 0.1 (last 10% of the quantum)
+
+	Jobs []JobSpec
+
+	// TimeLimit bounds simulated time (default 24 h).
+	TimeLimit time.Duration
+	// RecordTraces enables 1-second paging-activity recorders per node.
+	RecordTraces bool
+}
+
+// RunHandle gives access to the built cluster after Run for callers that
+// want traces or raw component statistics.
+type RunHandle struct {
+	Result Result
+	// Traces holds one recorder per node when Spec.RecordTraces was set.
+	Traces []*trace.Recorder
+}
+
+// Run executes the experiment to completion and returns its result.
+func Run(spec Spec) (Result, error) {
+	h, err := RunDetailed(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return h.Result, nil
+}
+
+// RunDetailed is Run with access to per-node traces.
+func RunDetailed(spec Spec) (*RunHandle, error) {
+	if len(spec.Jobs) == 0 {
+		return nil, errors.New("gangsched: spec has no jobs")
+	}
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	features, err := core.ParseFeatures(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	nc := cluster.DefaultNodeConfig()
+	if spec.MemoryMB > 0 {
+		nc.MemoryMB = spec.MemoryMB
+	}
+	nc.LockedMB = spec.LockedMB
+	if spec.RecordTraces {
+		nc.TraceBin = sim.Second
+	}
+	cl, err := cluster.New(spec.Seed, spec.Nodes, nc, features, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defQuantum := 5 * time.Minute
+	if spec.Quantum > 0 {
+		defQuantum = spec.Quantum
+	}
+	for _, j := range spec.Jobs {
+		q := defQuantum
+		if j.Quantum > 0 {
+			q = j.Quantum
+		}
+		if _, err := cl.AddJob(cluster.JobSpec{
+			Name:       j.Name,
+			Behavior:   j.Workload,
+			Quantum:    sim.DurationOf(q),
+			PassWSHint: j.HintWorkingSet,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	mode := gang.Gang
+	if spec.Batch {
+		mode = gang.Batch
+	}
+	cl.BuildScheduler(gang.Options{Mode: mode, BGWriteFraction: spec.BGWriteFraction})
+	limit := 24 * time.Hour
+	if spec.TimeLimit > 0 {
+		limit = spec.TimeLimit
+	}
+	if err := cl.Run(sim.DurationOf(limit)); err != nil {
+		return nil, err
+	}
+	label := features.String()
+	if spec.Batch {
+		label = "batch"
+	}
+	h := &RunHandle{Result: metrics.Collect(cl, label)}
+	if spec.RecordTraces {
+		for _, n := range cl.Nodes {
+			h.Traces = append(h.Traces, n.Rec)
+		}
+	}
+	return h, nil
+}
+
+// Comparison reports a policy against the original algorithm and a batch
+// baseline on the same spec, using the paper's metrics.
+type Comparison struct {
+	Batch, Orig, Policy Result
+	// SwitchingOverheadOrig / Policy follow §4.1:
+	// (T_gang − T_batch)/T_gang.
+	SwitchingOverheadOrig   float64
+	SwitchingOverheadPolicy float64
+	// PagingReduction is 1 − (T_policy − T_batch)/(T_orig − T_batch).
+	PagingReduction float64
+}
+
+// Compare runs spec three times — batch, original policy, and spec.Policy —
+// and reports the paper's overhead and reduction metrics.
+func Compare(spec Spec) (Comparison, error) {
+	var c Comparison
+	b := spec
+	b.Batch = true
+	b.Policy = "orig"
+	var err error
+	if c.Batch, err = Run(b); err != nil {
+		return c, fmt.Errorf("gangsched: batch baseline: %w", err)
+	}
+	o := spec
+	o.Batch = false
+	o.Policy = "orig"
+	if c.Orig, err = Run(o); err != nil {
+		return c, fmt.Errorf("gangsched: original policy: %w", err)
+	}
+	p := spec
+	p.Batch = false
+	if c.Policy, err = Run(p); err != nil {
+		return c, fmt.Errorf("gangsched: policy %q: %w", spec.Policy, err)
+	}
+	c.SwitchingOverheadOrig = metrics.SwitchingOverhead(c.Orig.Makespan, c.Batch.Makespan)
+	c.SwitchingOverheadPolicy = metrics.SwitchingOverhead(c.Policy.Makespan, c.Batch.Makespan)
+	c.PagingReduction = metrics.PagingReduction(c.Orig.Makespan, c.Policy.Makespan, c.Batch.Makespan)
+	return c, nil
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/gang"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/swap"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Series names recorded per node.
+const (
+	SeriesPageInKB  = "pagein_kb"
+	SeriesPageOutKB = "pageout_kb"
+)
+
+// NodeConfig describes one machine.
+type NodeConfig struct {
+	MemoryMB int // physical memory (paper: 1024)
+	LockedMB int // wired down with mlock to stress memory
+	// FreeMinPages / FreeHighPages are the reclaim watermarks; zero picks
+	// Linux-2.2-style defaults scaled to memory size.
+	FreeMinPages  int
+	FreeHighPages int
+	SwapMB        int // paging space (default: 4x memory)
+	Disk          disk.Params
+	VM            vm.Config
+	// TraceBin enables per-node paging-activity recording at this bin
+	// width when positive (1s in the paper's Figure 6).
+	TraceBin sim.Duration
+}
+
+// DefaultNodeConfig is the paper's machine: 1 GB memory, commodity disk.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		MemoryMB: 1024,
+		Disk:     disk.DefaultParams(),
+	}
+}
+
+func (nc *NodeConfig) fillDefaults() error {
+	if nc.MemoryMB <= 0 {
+		return fmt.Errorf("cluster: node memory must be positive, got %d MB", nc.MemoryMB)
+	}
+	if nc.LockedMB < 0 || nc.LockedMB >= nc.MemoryMB {
+		return fmt.Errorf("cluster: locked memory %d MB outside [0, %d)", nc.LockedMB, nc.MemoryMB)
+	}
+	if nc.SwapMB <= 0 {
+		nc.SwapMB = 4 * nc.MemoryMB
+	}
+	frames := mem.PagesFromMB(nc.MemoryMB)
+	if nc.FreeMinPages <= 0 {
+		// Linux 2.2 keeps freepages.min small in absolute terms (a few
+		// hundred KB to ~1 MB) rather than a percentage of memory; large
+		// watermark gaps would make every reclaim burst evict tens of MB.
+		nc.FreeMinPages = frames / 1024
+		if nc.FreeMinPages < 16 {
+			nc.FreeMinPages = 16
+		}
+		if nc.FreeMinPages > 256 {
+			nc.FreeMinPages = 256
+		}
+	}
+	if nc.FreeHighPages <= 0 {
+		nc.FreeHighPages = 3 * nc.FreeMinPages
+	}
+	if nc.FreeHighPages > frames {
+		return fmt.Errorf("cluster: freepages.high %d exceeds %d frames", nc.FreeHighPages, frames)
+	}
+	if nc.Disk.PerPage == 0 {
+		nc.Disk = disk.DefaultParams()
+	}
+	return nil
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID     int
+	Phys   *mem.Physical
+	Disk   *disk.Disk
+	Swap   *swap.Space
+	VM     *vm.VM
+	Kernel *core.Kernel
+	Rec    *trace.Recorder // nil unless TraceBin was set
+}
+
+// diskTracer adapts disk transfers into the node's paging-activity series.
+type diskTracer struct{ rec *trace.Recorder }
+
+func (t *diskTracer) OnTransfer(start sim.Time, d sim.Duration, pages int, write bool, _ disk.Priority) {
+	name := SeriesPageInKB
+	if write {
+		name = SeriesPageOutKB
+	}
+	t.rec.Series(name).AddSpread(start, d, mem.KBFromPages(pages))
+}
+
+// Cluster is a set of nodes, a network, the jobs placed on them and the
+// gang scheduler driving everything.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*Node
+	Net   *mpi.Network
+
+	jobs    []*gang.Job
+	nextPID int
+	sched   *gang.Scheduler
+}
+
+// New builds a cluster of nNodes identical machines running the given
+// adaptive-paging feature set.
+func New(seed int64, nNodes int, ncfg NodeConfig, features core.Features, kcfg core.Config) (*Cluster, error) {
+	if nNodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", nNodes)
+	}
+	if err := ncfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(seed)
+	c := &Cluster{Eng: eng, Net: mpi.DefaultNetwork(eng), nextPID: 1}
+	frames := mem.PagesFromMB(ncfg.MemoryMB)
+	for i := 0; i < nNodes; i++ {
+		var rec *trace.Recorder
+		var tracer disk.Tracer
+		if ncfg.TraceBin > 0 {
+			rec = trace.NewRecorder(ncfg.TraceBin)
+			// Pre-create series so CSV column order is stable.
+			rec.Series(SeriesPageInKB)
+			rec.Series(SeriesPageOutKB)
+			tracer = &diskTracer{rec}
+		}
+		phys := mem.New(frames, ncfg.FreeMinPages, ncfg.FreeHighPages)
+		if ncfg.LockedMB > 0 {
+			phys.Lock(mem.PagesFromMB(ncfg.LockedMB))
+		}
+		d := disk.New(eng, ncfg.Disk, tracer)
+		sp := swap.New(int64(mem.PagesFromMB(ncfg.SwapMB)))
+		v := vm.New(eng, phys, d, sp, ncfg.VM)
+		k := core.NewKernel(eng, v, features, kcfg)
+		c.Nodes = append(c.Nodes, &Node{
+			ID: i, Phys: phys, Disk: d, Swap: sp, VM: v, Kernel: k, Rec: rec,
+		})
+	}
+	return c, nil
+}
+
+// JobSpec places one job across every node of the cluster.
+type JobSpec struct {
+	Name     string
+	Behavior proc.Behavior // per-rank behaviour (already divided per node)
+	Quantum  sim.Duration
+	// PassWSHint makes the scheduler pass the behaviour's working-set size
+	// through the kernel API, as the paper's scheduler does; otherwise the
+	// kernel estimates from the previous quantum.
+	PassWSHint bool
+}
+
+// AddJob creates the job's address spaces, barrier and rank engines. Call
+// before BuildScheduler.
+func (c *Cluster) AddJob(spec JobSpec) (*gang.Job, error) {
+	if c.sched != nil {
+		return nil, errors.New("cluster: AddJob after BuildScheduler")
+	}
+	if err := spec.Behavior.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: job %q: %w", spec.Name, err)
+	}
+	pid := c.nextPID
+	c.nextPID++
+	job := &gang.Job{Name: spec.Name, Quantum: spec.Quantum}
+	if spec.PassWSHint {
+		job.WSHintPages = spec.Behavior.WorkingSetPages()
+	}
+	var barrier *mpi.Barrier
+	if spec.Behavior.SyncEveryIter {
+		barrier = mpi.NewBarrier(c.Net, len(c.Nodes))
+		job.Barrier = barrier
+	}
+	for _, n := range c.Nodes {
+		if _, err := n.VM.NewProcess(pid, spec.Behavior.FootprintPages); err != nil {
+			return nil, fmt.Errorf("cluster: job %q on node %d: %w", spec.Name, n.ID, err)
+		}
+		p := proc.New(c.Eng, n.VM, pid, spec.Behavior, barrier, func(*proc.Process) {
+			c.sched.MemberFinished(job)
+		})
+		job.Members = append(job.Members, gang.Member{Proc: p, Kernel: n.Kernel})
+	}
+	c.jobs = append(c.jobs, job)
+	return job, nil
+}
+
+// Jobs lists the placed jobs in creation order.
+func (c *Cluster) Jobs() []*gang.Job { return c.jobs }
+
+// BuildScheduler creates the gang scheduler over the placed jobs.
+func (c *Cluster) BuildScheduler(opts gang.Options) *gang.Scheduler {
+	if c.sched != nil {
+		panic("cluster: BuildScheduler called twice")
+	}
+	c.sched = gang.NewScheduler(c.Eng, c.jobs, opts, nil)
+	return c.sched
+}
+
+// Scheduler returns the scheduler (nil before BuildScheduler).
+func (c *Cluster) Scheduler() *gang.Scheduler { return c.sched }
+
+// ErrTimeout reports that Run hit its simulated-time limit before every job
+// completed.
+var ErrTimeout = errors.New("cluster: simulation timed out before all jobs finished")
+
+// Run starts the scheduler and drives the engine until every job finishes
+// or limit elapses.
+func (c *Cluster) Run(limit sim.Duration) error {
+	if c.sched == nil {
+		panic("cluster: Run before BuildScheduler")
+	}
+	c.sched.Start()
+	deadline := c.Eng.Now().Add(limit)
+	for {
+		at, ok := c.Eng.NextEventTime()
+		if !ok {
+			break
+		}
+		if at > deadline {
+			return ErrTimeout
+		}
+		c.Eng.Step()
+	}
+	for _, j := range c.jobs {
+		if !j.Done() {
+			return fmt.Errorf("cluster: job %q wedged (engine drained at %v)", j.Name, c.Eng.Now())
+		}
+	}
+	return nil
+}
+
+// Validate cross-checks every node's VM bookkeeping.
+func (c *Cluster) Validate() error {
+	for _, n := range c.Nodes {
+		if err := n.VM.Validate(); err != nil {
+			return fmt.Errorf("node %d: %w", n.ID, err)
+		}
+	}
+	return nil
+}

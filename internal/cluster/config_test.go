@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func TestWatermarkDefaultsSmallAbsolute(t *testing.T) {
+	// Linux 2.2-style watermarks: small absolute values, not a percentage
+	// (see the calibration notes in DESIGN.md).
+	c, err := New(1, 1, DefaultNodeConfig(), core.Orig, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Nodes[0].Phys
+	if p.FreeMin() != 256 {
+		t.Fatalf("1 GB node freepages.min = %d, want 256", p.FreeMin())
+	}
+	if p.FreeHigh() != 3*p.FreeMin() {
+		t.Fatalf("freepages.high = %d", p.FreeHigh())
+	}
+
+	// Tiny nodes get the floor.
+	nc := DefaultNodeConfig()
+	nc.MemoryMB = 4
+	c2, err := New(1, 1, nc, core.Orig, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Nodes[0].Phys.FreeMin() != 16 {
+		t.Fatalf("tiny node freepages.min = %d, want 16", c2.Nodes[0].Phys.FreeMin())
+	}
+}
+
+func TestExplicitWatermarksHonoured(t *testing.T) {
+	nc := DefaultNodeConfig()
+	nc.MemoryMB = 8
+	nc.FreeMinPages = 32
+	nc.FreeHighPages = 64
+	c, err := New(1, 1, nc, core.Orig, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Nodes[0].Phys
+	if p.FreeMin() != 32 || p.FreeHigh() != 64 {
+		t.Fatalf("watermarks = %d/%d", p.FreeMin(), p.FreeHigh())
+	}
+}
+
+func TestWatermarkValidation(t *testing.T) {
+	nc := DefaultNodeConfig()
+	nc.MemoryMB = 1
+	nc.FreeHighPages = mem.PagesFromMB(2) // exceeds frames
+	if _, err := New(1, 1, nc, core.Orig, core.Config{}); err == nil {
+		t.Fatal("oversized freepages.high accepted")
+	}
+}
+
+func TestLockedMemoryReducesFrames(t *testing.T) {
+	nc := DefaultNodeConfig()
+	nc.MemoryMB = 16
+	nc.LockedMB = 12
+	c, err := New(1, 1, nc, core.Orig, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Nodes[0].Phys
+	if p.LockedFrames() != mem.PagesFromMB(12) {
+		t.Fatalf("locked = %d frames", p.LockedFrames())
+	}
+	if p.NumFree() != mem.PagesFromMB(4) {
+		t.Fatalf("free = %d frames", p.NumFree())
+	}
+}
+
+func TestSwapDefaultsToFourTimesMemory(t *testing.T) {
+	nc := DefaultNodeConfig()
+	nc.MemoryMB = 8
+	c, err := New(1, 1, nc, core.Orig, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Nodes[0].Swap.Capacity(); got != int64(mem.PagesFromMB(32)) {
+		t.Fatalf("swap capacity = %d slots", got)
+	}
+}

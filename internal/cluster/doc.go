@@ -1,0 +1,11 @@
+// Package cluster assembles complete simulated machines — CPU reference
+// engines, physical memory with watermarks, a paging disk, swap space, the
+// vm substrate and the adaptive-paging kernel — into a cluster connected by
+// a network, and wires gang-scheduled jobs across it.
+//
+// It mirrors the paper's testbed: N identical nodes (1 GB memory, some of
+// it wired down with mlock to force over-commit, one paging disk each)
+// behind a 100 Mbps switch, with a user-level gang scheduler coordinating
+// job switches, and per-node paging-activity recorders that produce the
+// Figure 6 traces.
+package cluster

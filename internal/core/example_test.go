@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The adaptive page-in record run-length encodes flushed pages: contiguous
+// addresses collapse into (base, count) entries (paper Figure 4).
+func ExamplePageRecord() {
+	var rec core.PageRecord
+	for _, vpage := range []int{100, 101, 102, 103, 500, 501, 9} {
+		rec.Append(vpage)
+	}
+	fmt.Println("pages recorded:", rec.Len())
+	fmt.Println("runs used:", rec.RunCount())
+	fmt.Println("replay:", rec.Pages())
+	// Output:
+	// pages recorded: 7
+	// runs used: 3
+	// replay: [100 101 102 103 500 501 9]
+}
+
+// Policy combinations follow the paper's slash notation.
+func ExampleParseFeatures() {
+	f, _ := core.ParseFeatures("so/ao/bg")
+	fmt.Println(f.Selective, f.Aggressive, f.AdaptiveIn, f.BGWrite)
+	fmt.Println(f)
+	// Output:
+	// true true false true
+	// so/ao/bg
+}

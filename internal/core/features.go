@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Features selects which adaptive paging mechanisms are active. The zero
+// value is the original (unmodified) kernel behaviour.
+type Features struct {
+	Selective  bool // selective page-out (§3.1)
+	Aggressive bool // aggressive page-out (§3.2)
+	AdaptiveIn bool // adaptive page-in (§3.3)
+	BGWrite    bool // background writing of dirty pages (§3.4)
+}
+
+// The policy combinations evaluated in the paper (Figures 6-9).
+var (
+	Orig     = Features{}
+	AI       = Features{AdaptiveIn: true}
+	SO       = Features{Selective: true}
+	SOAO     = Features{Selective: true, Aggressive: true}
+	SOAOBG   = Features{Selective: true, Aggressive: true, BGWrite: true}
+	SOAOAIBG = Features{Selective: true, Aggressive: true, AdaptiveIn: true, BGWrite: true}
+)
+
+// PaperCombos lists the representative combinations of §4.3 in the order
+// the paper presents them.
+func PaperCombos() []Features {
+	return []Features{Orig, AI, SO, SOAO, SOAOBG, SOAOAIBG}
+}
+
+// String renders the combination in the paper's slash notation ("orig" for
+// the empty set).
+func (f Features) String() string {
+	var parts []string
+	if f.Selective {
+		parts = append(parts, "so")
+	}
+	if f.Aggressive {
+		parts = append(parts, "ao")
+	}
+	if f.AdaptiveIn {
+		parts = append(parts, "ai")
+	}
+	if f.BGWrite {
+		parts = append(parts, "bg")
+	}
+	if len(parts) == 0 {
+		return "orig"
+	}
+	return strings.Join(parts, "/")
+}
+
+// ParseFeatures parses the slash notation used throughout the paper
+// ("so/ao/ai/bg", "orig", "ai", …). Tokens may appear in any order.
+func ParseFeatures(s string) (Features, error) {
+	var f Features
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "orig" || s == "original" || s == "lru" {
+		return f, nil
+	}
+	for _, tok := range strings.Split(s, "/") {
+		switch strings.TrimSpace(tok) {
+		case "so":
+			f.Selective = true
+		case "ao":
+			f.Aggressive = true
+		case "ai":
+			f.AdaptiveIn = true
+		case "bg":
+			f.BGWrite = true
+		default:
+			return Features{}, fmt.Errorf("core: unknown paging feature %q in %q", tok, s)
+		}
+	}
+	return f, nil
+}
+
+// Any reports whether any mechanism is enabled.
+func (f Features) Any() bool {
+	return f.Selective || f.Aggressive || f.AdaptiveIn || f.BGWrite
+}

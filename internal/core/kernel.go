@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Config tunes the adaptive mechanisms. Zero fields take defaults.
+type Config struct {
+	// BGWriteBatch is how many dirty pages each background-writer pass
+	// queues; small batches keep the daemon's disk requests short so demand
+	// paging is not delayed behind them.
+	BGWriteBatch int
+	// BGWriteInterval is the daemon's wake-up period.
+	BGWriteInterval sim.Duration
+}
+
+// DefaultConfig returns the tuning used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		BGWriteBatch:    256,
+		BGWriteInterval: 100 * sim.Millisecond,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.BGWriteBatch <= 0 {
+		c.BGWriteBatch = d.BGWriteBatch
+	}
+	if c.BGWriteInterval <= 0 {
+		c.BGWriteInterval = d.BGWriteInterval
+	}
+}
+
+// Stats counts adaptive-mechanism activity on one node.
+type Stats struct {
+	SwitchEvictions  int64 // pages evicted by aggressive page-out calls
+	PrefetchedPages  int64 // pages scheduled by adaptive page-in
+	PrefetchRequests int64 // AdaptivePageIn calls that issued I/O
+	BGWritePasses    int64 // background-writer wakeups that queued writes
+	RecordedPages    int64 // pages appended to page records
+}
+
+// Kernel is the adaptive-paging extension bound to one node's VM, playing
+// the role of the patched kernel module of Figure 5.
+type Kernel struct {
+	eng      *sim.Engine
+	vm       *vm.VM
+	features Features
+	cfg      Config
+
+	records map[int]*PageRecord
+	stopped map[int]bool
+
+	bgPID   int // process being background-written, 0 when inactive
+	bgTimer *sim.Event
+
+	stats Stats
+}
+
+// NewKernel binds an adaptive-paging kernel to v, chaining onto any
+// existing page-out hook.
+func NewKernel(eng *sim.Engine, v *vm.VM, features Features, cfg Config) *Kernel {
+	cfg.fillDefaults()
+	k := &Kernel{
+		eng:      eng,
+		vm:       v,
+		features: features,
+		cfg:      cfg,
+		records:  make(map[int]*PageRecord),
+		stopped:  make(map[int]bool),
+	}
+	prev := v.OnPageOut
+	v.OnPageOut = func(pid, vpage int) {
+		k.onPageOut(pid, vpage)
+		if prev != nil {
+			prev(pid, vpage)
+		}
+	}
+	if features.Selective {
+		v.SetVictimPolicy(vm.PolicySelective)
+	}
+	return k
+}
+
+// Features reports the enabled mechanism set.
+func (k *Kernel) Features() Features { return k.features }
+
+// Stats returns a copy of the mechanism counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// VM exposes the bound substrate.
+func (k *Kernel) VM() *vm.VM { return k.vm }
+
+func (k *Kernel) onPageOut(pid, vpage int) {
+	if !k.features.AdaptiveIn || !k.stopped[pid] {
+		return
+	}
+	rec := k.records[pid]
+	if rec == nil {
+		rec = &PageRecord{}
+		k.records[pid] = rec
+	}
+	rec.Append(vpage)
+	k.stats.RecordedPages++
+}
+
+// MarkStopped tells the kernel pid has been de-scheduled; evictions of its
+// pages from now on are recorded for adaptive page-in.
+func (k *Kernel) MarkStopped(pid int) { k.stopped[pid] = true }
+
+// MarkRunning tells the kernel pid is running; its evictions (intra-job
+// paging) are not recorded, per §2's requirement that intra-job paging stay
+// under the original policy.
+func (k *Kernel) MarkRunning(pid int) { delete(k.stopped, pid) }
+
+// Forget drops any recorded state for pid (process exit).
+func (k *Kernel) Forget(pid int) {
+	delete(k.records, pid)
+	delete(k.stopped, pid)
+	if k.bgPID == pid {
+		k.StopBGWrite()
+	}
+}
+
+// AdaptivePageOut is the kernel API of §3.5. It designates outPID as the
+// victim source for selective page-out and, when aggressive page-out is
+// enabled, immediately evicts outPID's pages until enough frames are free
+// for the incoming working set (Figure 3). wsPages may be 0 to use the
+// kernel's own estimate from inPID's previous quantum. It returns the
+// number of pages evicted synchronously.
+func (k *Kernel) AdaptivePageOut(inPID, outPID, wsPages int) int {
+	if inPID == outPID {
+		panic(fmt.Sprintf("core: AdaptivePageOut with inPID == outPID == %d", inPID))
+	}
+	if outPID == 0 || k.vm.Process(outPID) == nil {
+		// No outgoing process (previous job exited): nothing to designate
+		// or evict.
+		if k.features.Selective {
+			k.vm.SetOutgoing(0)
+		}
+		return 0
+	}
+	if k.features.Selective {
+		k.vm.SetOutgoing(outPID)
+	}
+	if !k.features.Aggressive {
+		return 0
+	}
+	ws := wsPages
+	if ws <= 0 {
+		ws = k.vm.WSEstimate(inPID)
+	}
+	need := ws - k.vm.Phys().NumFree()
+	if need <= 0 {
+		return 0
+	}
+	evicted := k.vm.ReclaimFrom(outPID, need)
+	k.stats.SwitchEvictions += int64(evicted)
+	return evicted
+}
+
+// AdaptivePageIn is the kernel API of §3.5: it replays inPID's page record
+// as induced faults, reading the whole recorded set in large coalesced disk
+// transactions so the working set is available at the start of the quantum
+// (Figure 4). onDone, if non-nil, fires when the prefetch transfers finish.
+// It returns the number of pages scheduled for prefetch.
+func (k *Kernel) AdaptivePageIn(inPID, outPID, wsPages int, onDone func()) int {
+	if !k.features.AdaptiveIn {
+		if onDone != nil {
+			onDone()
+		}
+		return 0
+	}
+	rec := k.records[inPID]
+	if rec == nil || rec.Len() == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return 0
+	}
+	pages := rec.Pages()
+	rec.Reset()
+	k.stats.PrefetchedPages += int64(len(pages))
+	k.stats.PrefetchRequests++
+	k.vm.ReadPagesIn(inPID, pages, disk.Demand, onDone)
+	return len(pages)
+}
+
+// StartBGWrite activates the background writer for pid (§3.4): a
+// low-priority daemon that periodically flushes batches of the running
+// job's dirty pages so the next switch has less write-back to do. Starting
+// it for another pid moves the daemon.
+func (k *Kernel) StartBGWrite(pid int) {
+	if !k.features.BGWrite {
+		return
+	}
+	if k.vm.Process(pid) == nil {
+		panic(fmt.Sprintf("core: StartBGWrite(%d): no such process", pid))
+	}
+	k.StopBGWrite()
+	k.bgPID = pid
+	k.scheduleBGPass()
+}
+
+// StopBGWrite deactivates the daemon; the paper switches it off when the
+// actual job switch begins.
+func (k *Kernel) StopBGWrite() {
+	if k.bgTimer != nil {
+		k.bgTimer.Cancel()
+		k.bgTimer = nil
+	}
+	k.bgPID = 0
+}
+
+// BGWriteActive reports whether the daemon is running and for which pid.
+func (k *Kernel) BGWriteActive() (pid int, active bool) {
+	return k.bgPID, k.bgPID != 0
+}
+
+func (k *Kernel) scheduleBGPass() {
+	k.bgTimer = k.eng.Schedule(k.cfg.BGWriteInterval, func() {
+		pid := k.bgPID
+		if pid == 0 {
+			return
+		}
+		if k.vm.Process(pid) != nil {
+			if n := k.vm.WriteBackDirty(pid, k.cfg.BGWriteBatch, disk.Background); n > 0 {
+				k.stats.BGWritePasses++
+			}
+		}
+		k.scheduleBGPass()
+	})
+}
+
+// RecordLen reports the current page-record size for pid (testing and
+// introspection).
+func (k *Kernel) RecordLen(pid int) int {
+	if rec := k.records[pid]; rec != nil {
+		return rec.Len()
+	}
+	return 0
+}

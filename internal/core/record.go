@@ -1,0 +1,54 @@
+package core
+
+// PageRecord is the adaptive page-in bookkeeping of Figure 4: a run-length
+// encoded list of the pages flushed from memory while their owner was
+// stopped. Contiguous page addresses recorded in sequence collapse into a
+// single (base, count) entry, "saving substantial amount of kernel memory".
+type PageRecord struct {
+	runs  []recordRun
+	pages int
+}
+
+type recordRun struct {
+	base  int
+	count int
+}
+
+// Append records one flushed page. Appending the page that directly
+// follows the previous one extends the current run.
+func (r *PageRecord) Append(vpage int) {
+	if n := len(r.runs); n > 0 {
+		last := &r.runs[n-1]
+		if vpage == last.base+last.count {
+			last.count++
+			r.pages++
+			return
+		}
+	}
+	r.runs = append(r.runs, recordRun{base: vpage, count: 1})
+	r.pages++
+}
+
+// Len reports the number of recorded pages.
+func (r *PageRecord) Len() int { return r.pages }
+
+// RunCount reports how many (base, count) entries the encoding uses — the
+// kernel-memory cost the paper's offset encoding optimises.
+func (r *PageRecord) RunCount() int { return len(r.runs) }
+
+// Pages decodes the record into the flat page list, in recorded order.
+func (r *PageRecord) Pages() []int {
+	out := make([]int, 0, r.pages)
+	for _, run := range r.runs {
+		for i := 0; i < run.count; i++ {
+			out = append(out, run.base+i)
+		}
+	}
+	return out
+}
+
+// Reset clears the record, retaining capacity.
+func (r *PageRecord) Reset() {
+	r.runs = r.runs[:0]
+	r.pages = 0
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRLECompression(t *testing.T) {
+	var r PageRecord
+	for vp := 100; vp < 200; vp++ {
+		r.Append(vp)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.RunCount() != 1 {
+		t.Fatalf("contiguous pages should use 1 run, got %d", r.RunCount())
+	}
+	pages := r.Pages()
+	for i, vp := range pages {
+		if vp != 100+i {
+			t.Fatalf("Pages()[%d] = %d", i, vp)
+		}
+	}
+}
+
+func TestRecordScatteredRuns(t *testing.T) {
+	var r PageRecord
+	for _, vp := range []int{5, 6, 7, 20, 21, 3} {
+		r.Append(vp)
+	}
+	if r.RunCount() != 3 || r.Len() != 6 {
+		t.Fatalf("runs=%d len=%d", r.RunCount(), r.Len())
+	}
+	want := []int{5, 6, 7, 20, 21, 3}
+	got := r.Pages()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pages = %v", got)
+		}
+	}
+}
+
+func TestRecordReset(t *testing.T) {
+	var r PageRecord
+	r.Append(1)
+	r.Reset()
+	if r.Len() != 0 || r.RunCount() != 0 || len(r.Pages()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	r.Append(9)
+	if r.Len() != 1 || r.Pages()[0] != 9 {
+		t.Fatal("record unusable after Reset")
+	}
+}
+
+// Property: encode/decode is the identity on any append sequence.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(vpages []uint16) bool {
+		var r PageRecord
+		for _, vp := range vpages {
+			r.Append(int(vp))
+		}
+		got := r.Pages()
+		if len(got) != len(vpages) || r.Len() != len(vpages) {
+			return false
+		}
+		for i := range vpages {
+			if got[i] != int(vpages[i]) {
+				return false
+			}
+		}
+		return r.RunCount() <= len(vpages)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a strictly ascending contiguous sequence always encodes to one
+// run per discontinuity + 1.
+func TestQuickRecordRunCounting(t *testing.T) {
+	f := func(gaps []bool) bool {
+		var r PageRecord
+		vp := 0
+		wantRuns := 0
+		for i, gap := range gaps {
+			if i == 0 || gap {
+				vp += 2 // discontinuity
+				wantRuns++
+			} else {
+				vp++
+			}
+			r.Append(vp)
+		}
+		if len(gaps) == 0 {
+			return r.RunCount() == 0
+		}
+		return r.RunCount() == wantRuns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeaturesString(t *testing.T) {
+	cases := map[string]Features{
+		"orig":        Orig,
+		"ai":          AI,
+		"so":          SO,
+		"so/ao":       SOAO,
+		"so/ao/bg":    SOAOBG,
+		"so/ao/ai/bg": SOAOAIBG,
+	}
+	for want, f := range cases {
+		if f.String() != want {
+			t.Errorf("%+v.String() = %q, want %q", f, f.String(), want)
+		}
+		parsed, err := ParseFeatures(want)
+		if err != nil {
+			t.Fatalf("ParseFeatures(%q): %v", want, err)
+		}
+		if parsed != f {
+			t.Errorf("ParseFeatures(%q) = %+v, want %+v", want, parsed, f)
+		}
+	}
+}
+
+func TestParseFeaturesAliases(t *testing.T) {
+	for _, s := range []string{"", "orig", "ORIG", "lru", "original"} {
+		f, err := ParseFeatures(s)
+		if err != nil || f.Any() {
+			t.Fatalf("ParseFeatures(%q) = %+v, %v", s, f, err)
+		}
+	}
+	if _, err := ParseFeatures("so/xx"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	f, err := ParseFeatures("bg/ai")
+	if err != nil || !f.BGWrite || !f.AdaptiveIn || f.Selective {
+		t.Fatalf("order-independent parse broken: %+v %v", f, err)
+	}
+}
+
+func TestPaperCombos(t *testing.T) {
+	combos := PaperCombos()
+	if len(combos) != 6 {
+		t.Fatalf("combos = %d", len(combos))
+	}
+	if combos[0].Any() {
+		t.Fatal("first combo must be orig")
+	}
+	if combos[5] != SOAOAIBG {
+		t.Fatal("last combo must be so/ao/ai/bg")
+	}
+}

@@ -1,0 +1,374 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Slot identifies one page-sized extent on the paging device. Slot numbers
+// are positions: slots n and n+1 are physically adjacent.
+type Slot int64
+
+// InvalidSlot marks "no slot assigned".
+const InvalidSlot Slot = -1
+
+// Run is a contiguous extent of N slots starting at Start.
+type Run struct {
+	Start Slot
+	N     int
+}
+
+// End returns the first slot after the run.
+func (r Run) End() Slot { return r.Start + Slot(r.N) }
+
+// Priority orders queued requests. Lower value is more urgent.
+type Priority int
+
+const (
+	// Demand requests stall a process (page fault, switch-time paging).
+	Demand Priority = iota
+	// Background requests come from the background-write daemon.
+	Background
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Demand:
+		return "demand"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// Request is one disk transaction over a set of slot runs.
+type Request struct {
+	Runs  []Run
+	Write bool
+	Prio  Priority
+	// Done is invoked at completion with the time the request spent in
+	// service (queueing excluded). May be nil.
+	Done func(service sim.Duration)
+}
+
+// Pages reports the total number of pages the request transfers.
+func (r *Request) Pages() int {
+	n := 0
+	for _, run := range r.Runs {
+		n += run.N
+	}
+	return n
+}
+
+// Params describes the device's cost model.
+//
+// The simple (binary) model charges Seek+Rot for every run that does not
+// start exactly where the head already is. Setting StrokeSlots enables the
+// positional model: the seek grows from MinSeek to Seek with the head
+// travel distance, and hops of at most NearSlots cost only NearPenalty
+// (track-buffer / same-cylinder accesses pay neither a full arm movement
+// nor a full rotation).
+type Params struct {
+	Seek     sim.Duration // full-distance seek time for a non-sequential access
+	Rot      sim.Duration // average rotational latency
+	PerPage  sim.Duration // transfer time per page
+	Capacity int64        // device size in slots (0 = unbounded, checked by swap allocator)
+
+	MinSeek     sim.Duration // positional model: cost of the shortest real seek
+	NearSlots   int64        // positional model: hops <= this cost only NearPenalty
+	NearPenalty sim.Duration // positional model: near-hop cost
+	StrokeSlots int64        // positional model: distance at which seeks reach Seek (0 = binary model)
+
+	// Elevator makes the demand queue served in SCAN order (nearest
+	// request in the current sweep direction) instead of FIFO. Linux 2.2's
+	// request queue did this for filesystem I/O; swap traffic largely
+	// bypassed it, so the reproduction's default is FIFO.
+	Elevator bool
+}
+
+// DefaultParams models a ~2003 commodity IDE paging disk: 6 ms average
+// seek within the swap partition, 4 ms rotational latency (7200 rpm), and
+// ~16 MB/s effective paging bandwidth (≈250 µs per 4 KiB page — sustained
+// swap throughput sits well below the media's peak rate once controller
+// and filesystem-free swap overheads are paid).
+func DefaultParams() Params {
+	return Params{
+		Seek:    6 * sim.Millisecond,
+		Rot:     4 * sim.Millisecond,
+		PerPage: 250 * sim.Microsecond,
+	}
+}
+
+// PositionalParams enables the distance-dependent seek model on top of the
+// defaults; used by the disk-model ablation.
+func PositionalParams() Params {
+	p := DefaultParams()
+	p.MinSeek = 1 * sim.Millisecond
+	p.NearSlots = 512 // 2 MiB: same-cylinder / track-buffer territory
+	p.NearPenalty = 1 * sim.Millisecond
+	p.StrokeSlots = 2 << 20 // seeks saturate at ~8 GiB of travel
+	return p
+}
+
+func (p Params) validate() {
+	p.Seek.CheckNonNegative("disk seek")
+	p.Rot.CheckNonNegative("disk rotational latency")
+	if p.PerPage <= 0 {
+		panic("disk: per-page transfer time must be positive")
+	}
+}
+
+// Tracer observes completed transfers; used to build Figure 6 style
+// paging-activity traces. start is when the transfer began service and d
+// how long it took.
+type Tracer interface {
+	OnTransfer(start sim.Time, d sim.Duration, pages int, write bool, prio Priority)
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads, Writes           int64 // completed requests
+	PagesRead, PagesWritten int64
+	Seeks                   int64        // runs that paid seek+rot
+	SequentialRuns          int64        // runs that did not
+	BusyTime                sim.Duration // total service time
+	DemandTime              sim.Duration // service time of demand requests
+	BackgroundTime          sim.Duration // service time of background requests
+	MaxQueueLen             int
+}
+
+// Disk is a simulated paging device attached to a sim.Engine.
+type Disk struct {
+	eng    *sim.Engine
+	p      Params
+	tracer Tracer
+
+	busy      bool
+	head      Slot // where the head will be after the in-flight request
+	headStale bool // disk went idle: the platter rotated away from the head position
+	qDemand   []*Request
+	qBg       []*Request
+	stats     Stats
+}
+
+// New creates a disk with the given parameters. tracer may be nil.
+func New(eng *sim.Engine, p Params, tracer Tracer) *Disk {
+	p.validate()
+	// The head starts at an invalid position so the very first access
+	// always pays a seek.
+	return &Disk{eng: eng, p: p, tracer: tracer, head: InvalidSlot}
+}
+
+// Params returns the device's cost model.
+func (d *Disk) Params() Params { return d.p }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueLen reports how many requests are waiting (not in service).
+func (d *Disk) QueueLen() int { return len(d.qDemand) + len(d.qBg) }
+
+// Busy reports whether a request is in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// Submit enqueues a request. Runs must be non-empty with positive lengths.
+func (d *Disk) Submit(r *Request) {
+	if len(r.Runs) == 0 {
+		panic("disk: request with no runs")
+	}
+	for _, run := range r.Runs {
+		if run.N <= 0 || run.Start < 0 {
+			panic(fmt.Sprintf("disk: bad run %+v", run))
+		}
+	}
+	switch r.Prio {
+	case Demand:
+		d.qDemand = append(d.qDemand, r)
+	case Background:
+		d.qBg = append(d.qBg, r)
+	default:
+		panic(fmt.Sprintf("disk: unknown priority %d", r.Prio))
+	}
+	if q := d.QueueLen(); q > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = q
+	}
+	d.kick()
+}
+
+// ServiceTime computes how long a request would take given the current head
+// position, without submitting it. Exposed for tests and capacity planning.
+func (d *Disk) ServiceTime(r *Request) sim.Duration {
+	t, _, _, _ := d.serviceTimeFrom(d.head, r)
+	return t
+}
+
+func (d *Disk) serviceTimeFrom(head Slot, r *Request) (t sim.Duration, newHead Slot, seeks, seq int64) {
+	newHead = head
+	stale := d.headStale
+	for _, run := range r.Runs {
+		switch {
+		case run.Start != newHead:
+			t += d.seekCost(newHead, run.Start)
+			seeks++
+		case stale:
+			// The head is on the right track but the disk sat idle since
+			// the last transfer, so the platter rotated away. Resuming an
+			// otherwise-sequential stream waits almost a full revolution
+			// (the target sector just passed under the head), i.e. about
+			// twice the average rotational latency. This is why demand
+			// paging in small groups (compute between requests) cannot
+			// stream the way one large block transfer can.
+			t += 2 * d.p.Rot
+			seq++
+		default:
+			seq++
+		}
+		stale = false
+		t += sim.Duration(run.N) * d.p.PerPage
+		newHead = run.End()
+	}
+	return t, newHead, seeks, seq
+}
+
+// seekCost prices moving the head from one slot to another (from != to).
+func (d *Disk) seekCost(from, to Slot) sim.Duration {
+	if d.p.StrokeSlots <= 0 || from == InvalidSlot {
+		return d.p.Seek + d.p.Rot
+	}
+	dist := int64(to - from)
+	if dist < 0 {
+		dist = -dist
+	}
+	if d.p.NearSlots > 0 && dist <= d.p.NearSlots {
+		return d.p.NearPenalty
+	}
+	frac := float64(dist) / float64(d.p.StrokeSlots)
+	if frac > 1 {
+		frac = 1
+	}
+	return d.p.MinSeek + (d.p.Seek - d.p.MinSeek).Scale(frac) + d.p.Rot
+}
+
+func (d *Disk) kick() {
+	if d.busy {
+		return
+	}
+	var r *Request
+	if len(d.qDemand) > 0 {
+		idx := 0
+		if d.p.Elevator {
+			idx = d.scanPick()
+		}
+		r = d.qDemand[idx]
+		d.qDemand = append(d.qDemand[:idx], d.qDemand[idx+1:]...)
+	} else if len(d.qBg) > 0 {
+		r = d.qBg[0]
+		d.qBg = d.qBg[1:]
+	} else {
+		return
+	}
+	d.busy = true
+	start := d.eng.Now()
+	svc, newHead, seeks, seq := d.serviceTimeFrom(d.head, r)
+	d.head = newHead
+	d.headStale = false
+	d.stats.Seeks += seeks
+	d.stats.SequentialRuns += seq
+	d.stats.BusyTime += svc
+	if r.Prio == Demand {
+		d.stats.DemandTime += svc
+	} else {
+		d.stats.BackgroundTime += svc
+	}
+	pages := r.Pages()
+	if r.Write {
+		d.stats.Writes++
+		d.stats.PagesWritten += int64(pages)
+	} else {
+		d.stats.Reads++
+		d.stats.PagesRead += int64(pages)
+	}
+	d.eng.Schedule(svc, func() {
+		d.busy = false
+		if d.QueueLen() == 0 {
+			d.headStale = true
+		}
+		if d.tracer != nil {
+			d.tracer.OnTransfer(start, svc, pages, r.Write, r.Prio)
+		}
+		if r.Done != nil {
+			r.Done(svc)
+		}
+		d.kick()
+	})
+}
+
+// scanPick returns the index of the queued demand request whose first run
+// is nearest the head position, preferring requests at or beyond the head
+// (the upward sweep) before falling back to the nearest below it.
+func (d *Disk) scanPick() int {
+	head := d.head
+	if head == InvalidSlot {
+		return 0
+	}
+	bestUp, bestUpDist := -1, int64(1)<<62
+	bestDown, bestDownDist := -1, int64(1)<<62
+	for i, r := range d.qDemand {
+		start := r.Runs[0].Start
+		if start >= head {
+			if dist := int64(start - head); dist < bestUpDist {
+				bestUp, bestUpDist = i, dist
+			}
+		} else if dist := int64(head - start); dist < bestDownDist {
+			bestDown, bestDownDist = i, dist
+		}
+	}
+	if bestUp >= 0 {
+		return bestUp
+	}
+	return bestDown
+}
+
+// Coalesce turns an arbitrary slot list into a minimal sorted set of
+// contiguous runs. Duplicate slots are collapsed.
+func Coalesce(slots []Slot) []Run {
+	if len(slots) == 0 {
+		return nil
+	}
+	s := append([]Slot(nil), slots...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var runs []Run
+	cur := Run{Start: s[0], N: 1}
+	for _, sl := range s[1:] {
+		switch {
+		case sl == cur.End()-1: // duplicate
+		case sl == cur.End():
+			cur.N++
+		default:
+			runs = append(runs, cur)
+			cur = Run{Start: sl, N: 1}
+		}
+	}
+	return append(runs, cur)
+}
+
+// SplitRuns caps each run at maxPages, splitting longer extents. Used to
+// bound single-transaction sizes.
+func SplitRuns(runs []Run, maxPages int) []Run {
+	if maxPages <= 0 {
+		panic("disk: SplitRuns with non-positive cap")
+	}
+	var out []Run
+	for _, r := range runs {
+		for r.N > maxPages {
+			out = append(out, Run{Start: r.Start, N: maxPages})
+			r.Start += Slot(maxPages)
+			r.N -= maxPages
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package disk_test
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// Coalesce turns a scattered slot list into minimal contiguous runs — the
+// step that lets batched page-outs amortise seeks.
+func ExampleCoalesce() {
+	runs := disk.Coalesce([]disk.Slot{7, 5, 6, 20, 21, 22, 100})
+	for _, r := range runs {
+		fmt.Printf("start=%d n=%d\n", r.Start, r.N)
+	}
+	// Output:
+	// start=5 n=3
+	// start=20 n=3
+	// start=100 n=1
+}

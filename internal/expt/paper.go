@@ -1,0 +1,59 @@
+package expt
+
+import "repro/internal/workload"
+
+// PaperTargets records the numbers the paper reports, for side-by-side
+// comparison in EXPERIMENTS.md. Values are fractions (0.84 = 84%).
+// Sources: §4.1 for Figure 7, §4.2 for Figure 8, §4.3 for Figure 9, §6 for
+// the headline.
+type PaperTargets struct {
+	// Fig7Reduction: paging reduction of so/ao/ai/bg per app, serial class B.
+	Fig7Reduction map[workload.App]float64
+	// Fig7OrigOverheadNote: the paper's qualitative statement.
+	Fig7OrigOverheadNote string
+	// Fig7LUOverheads: LU's overhead falls from 26% to 5%.
+	Fig7LUOrigOverhead, Fig7LUAdaptiveOverhead float64
+	// Fig8Reduction: reductions per app at 2 and 4 machines.
+	Fig8Reduction2, Fig8Reduction4 map[workload.App]float64
+	// Fig9FullReduction: so/ao/ai/bg reduction for serial / 2 / 4 machines.
+	Fig9FullReduction map[string]float64
+	// Headline: "job switching time can be reduced by up to 90%".
+	HeadlineMaxReduction float64
+	// Moreira motivation: ~3.5x slowdown at 128 vs 256 MB.
+	MoreiraSlowdown float64
+}
+
+// Paper returns the published targets.
+func Paper() PaperTargets {
+	return PaperTargets{
+		Fig7Reduction: map[workload.App]float64{
+			workload.MG: 0.93,
+			workload.LU: 0.84,
+			workload.SP: 0.78,
+			workload.CG: 0.68,
+			workload.IS: 0.19,
+		},
+		Fig7OrigOverheadNote:   "switching overhead more than or close to 50% for SP, CG, IS, MG; 26% for LU",
+		Fig7LUOrigOverhead:     0.26,
+		Fig7LUAdaptiveOverhead: 0.05,
+		Fig8Reduction2: map[workload.App]float64{
+			workload.LU: 0.61,
+			workload.CG: 0.38,
+			workload.IS: 0.72,
+			// MG runs on 2 machines but the paper gives no number.
+		},
+		Fig8Reduction4: map[workload.App]float64{
+			workload.LU: 0.43,
+			workload.SP: 0.70,
+			workload.CG: 0.07,
+			workload.IS: 0.57,
+		},
+		Fig9FullReduction: map[string]float64{
+			"serial":     0.83,
+			"2 machines": 0.61,
+			"4 machines": 0.71,
+		},
+		HeadlineMaxReduction: 0.90,
+		MoreiraSlowdown:      3.5,
+	}
+}

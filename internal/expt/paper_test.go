@@ -1,0 +1,49 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPaperTargetsComplete(t *testing.T) {
+	p := Paper()
+	// Every serial app has a Figure 7 target.
+	for _, app := range workload.Apps() {
+		if _, ok := p.Fig7Reduction[app]; !ok {
+			t.Errorf("no Figure 7 target for %s", app)
+		}
+	}
+	// The paper's ordering MG > LU > SP > CG > IS.
+	order := []workload.App{workload.MG, workload.LU, workload.SP, workload.CG, workload.IS}
+	for i := 1; i < len(order); i++ {
+		if p.Fig7Reduction[order[i-1]] <= p.Fig7Reduction[order[i]] {
+			t.Errorf("target ordering broken at %s vs %s", order[i-1], order[i])
+		}
+	}
+	// Figure 8 apps per machine count match the runnable sets.
+	two, _ := Figure8Models(2)
+	for _, m := range two {
+		if m.App == workload.MG {
+			continue // MG runs on 2 machines but the paper gives no number
+		}
+		if _, ok := p.Fig8Reduction2[m.App]; !ok {
+			t.Errorf("no 2-machine target for %s", m.App)
+		}
+	}
+	four, _ := Figure8Models(4)
+	for _, m := range four {
+		if _, ok := p.Fig8Reduction4[m.App]; !ok {
+			t.Errorf("no 4-machine target for %s", m.App)
+		}
+	}
+	// Figure 9 setups align with the targets map.
+	for _, s := range Figure9Setups() {
+		if _, ok := p.Fig9FullReduction[s.Label]; !ok {
+			t.Errorf("no Figure 9 target for %q", s.Label)
+		}
+	}
+	if p.HeadlineMaxReduction != 0.90 {
+		t.Error("headline is the paper's 'up to 90%'")
+	}
+}

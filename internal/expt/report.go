@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// FormatAppTable renders Figure 7/8 style rows as an aligned text table.
+func FormatAppTable(title string, rows []AppResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-4s %-5s %7s %9s %9s %11s %11s %10s\n",
+		"app", "class", "batch_s", "orig_s", "adapt_s", "orig_ovhd", "adapt_ovhd", "reduction")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-5s %7.0f %9.0f %9.0f %11s %11s %10s\n",
+			r.App, r.Class, r.BatchSec, r.OrigSec, r.AdaptiveSec,
+			metrics.Pct(r.OrigOverhead), metrics.Pct(r.AdaptiveOverhead), metrics.Pct(r.Reduction))
+	}
+	return b.String()
+}
+
+// FormatPolicyTable renders Figure 9 style rows for each setup.
+func FormatPolicyTable(title string, results map[string][]PolicyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labels := make([]string, 0, len(results))
+	for l := range results {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(&b, "-- %s --\n", label)
+		fmt.Fprintf(&b, "%-12s %10s %9s %10s\n", "policy", "time_s", "overhead", "reduction")
+		for _, r := range results[label] {
+			red := "-"
+			ovh := "-"
+			if r.Policy != "batch" {
+				ovh = metrics.Pct(r.Overhead)
+				red = metrics.Pct(r.Reduction)
+			}
+			fmt.Fprintf(&b, "%-12s %10.0f %9s %10s\n", r.Policy, r.CompletionSec, ovh, red)
+		}
+	}
+	return b.String()
+}
+
+// FormatTraceSummary renders Figure 6 compaction statistics.
+func FormatTraceSummary(rows []TraceResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — paging compaction (node 0, page-in activity)\n")
+	fmt.Fprintf(&b, "%-12s %14s %12s\n", "policy", "active_seconds", "peak_kb_s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14d %12.0f\n", r.Policy, r.ActiveSeconds, r.PeakKBps)
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ResponseRow is one scheduler's outcome on the mixed workload.
+type ResponseRow struct {
+	Scheduler    string
+	ShortJobSec  float64 // completion of the short interactive-ish job
+	LongJobSec   float64 // completion of the long job
+	MeanSec      float64
+	PagesMovedGB float64
+}
+
+// MixedWorkloadStudy reproduces the paper's motivation (§1): gang
+// scheduling exists to give good response to a short job that shares the
+// machine with a long-running one, and adaptive paging makes that
+// affordable under memory over-commitment. Four schedulers run the same
+// pair — a long LU-like job and a short job one tenth its length:
+//
+//   - batch: short waits for long — worst response,
+//   - memory-aware admission control (Batat & Feitelson, §5's related
+//     work): refuses to time-share over-committed jobs, so it degenerates
+//     to batch here,
+//   - gang + original paging: good response, heavy paging tax,
+//   - gang + so/ao/ai/bg: good response at a fraction of the tax.
+func MixedWorkloadStudy(cfg Config) ([]ResponseRow, error) {
+	cfg.fillDefaults()
+	longBeh := workload.Model{
+		App: "LONG", Class: "-", Ranks: 1,
+		FootprintMB: 190, AvailMB: 238,
+		Iterations: 250, TouchCost: 70 * sim.Microsecond, DirtyFrac: 0.65,
+	}
+	shortBeh := workload.Model{
+		App: "SHORT", Class: "-", Ranks: 1,
+		FootprintMB: 150, AvailMB: 238,
+		Iterations: 40, TouchCost: 45 * sim.Microsecond, DirtyFrac: 0.7,
+	}
+
+	type schedCfg struct {
+		name        string
+		features    core.Features
+		mode        gang.Mode
+		memoryAware bool
+	}
+	var out []ResponseRow
+	for _, sc := range []schedCfg{
+		{"batch", core.Orig, gang.Batch, false},
+		{"admission-control", core.Orig, gang.Gang, true},
+		{"gang+orig", core.Orig, gang.Gang, false},
+		{"gang+so/ao/ai/bg", core.SOAOAIBG, gang.Gang, false},
+	} {
+		nc := cluster.DefaultNodeConfig()
+		nc.LockedMB = nc.MemoryMB - longBeh.AvailMB
+		cl, err := cluster.New(cfg.Seed, 1, nc, sc.features, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		add := func(name string, beh proc.Behavior) error {
+			_, err := cl.AddJob(cluster.JobSpec{
+				Name:       name,
+				Behavior:   beh,
+				Quantum:    cfg.Quantum,
+				PassWSHint: true,
+			})
+			return err
+		}
+		// The long job is already running; the short job shares the node.
+		if err := add("long", longBeh.Behavior()); err != nil {
+			return nil, err
+		}
+		if err := add("short", shortBeh.Behavior()); err != nil {
+			return nil, err
+		}
+		cl.BuildScheduler(gang.Options{
+			Mode:            sc.mode,
+			BGWriteFraction: cfg.BGWriteFraction,
+			MemoryAware:     sc.memoryAware,
+		})
+		if err := cl.Run(cfg.TimeLimit); err != nil {
+			return nil, fmt.Errorf("expt: mixed workload under %s: %w", sc.name, err)
+		}
+		res := metrics.Collect(cl, sc.name)
+		short, _ := res.CompletionOf("short")
+		long, _ := res.CompletionOf("long")
+		out = append(out, ResponseRow{
+			Scheduler:    sc.name,
+			ShortJobSec:  short.Seconds(),
+			LongJobSec:   long.Seconds(),
+			MeanSec:      res.MeanCompletion().Seconds(),
+			PagesMovedGB: float64(res.TotalPagesMoved()) * 4096 / (1 << 30),
+		})
+	}
+	return out, nil
+}
+
+// FormatResponse renders the mixed-workload study.
+func FormatResponse(rows []ResponseRow) string {
+	s := "Mixed workload — short job sharing a machine with a long job\n"
+	s += fmt.Sprintf("%-18s %10s %10s %10s %10s\n", "scheduler", "short_s", "long_s", "mean_s", "paged_GB")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-18s %10.0f %10.0f %10.0f %10.2f\n",
+			r.Scheduler, r.ShortJobSec, r.LongJobSec, r.MeanSec, r.PagesMovedGB)
+	}
+	return s
+}

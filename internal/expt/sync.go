@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/workload"
+)
+
+// SyncRow is one policy's synchronization outcome on the jittered
+// parallel workload.
+type SyncRow struct {
+	Policy         string
+	MakespanSec    float64
+	BarrierWaitSec float64 // cumulative rank-time at barriers, both jobs
+}
+
+// SyncStudy measures the claim in §2 and §4.2 that making paging "occur
+// simultaneously over all nodes ... facilitates the synchronization of
+// computation among parallel nodes": two LU class C jobs on four machines
+// whose ranks have ±10% per-iteration compute jitter. Under the original
+// policy each node pages on its own schedule and every straggler holds the
+// whole gang at the barrier; the adaptive mechanisms compact paging into
+// the same instant on every node.
+func SyncStudy(cfg Config) ([]SyncRow, error) {
+	cfg.fillDefaults()
+	m := workload.MustGet(workload.LU, workload.ClassC, 4)
+	beh := m.Behavior()
+	beh.Jitter = 0.10
+	var out []SyncRow
+	for _, features := range []core.Features{core.Orig, core.SOAOAIBG} {
+		cl2, err := cfg.buildPairWithBehavior(m, beh, features, gang.Gang)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl2.Run(cfg.TimeLimit); err != nil {
+			return nil, fmt.Errorf("expt: sync study %s: %w", features, err)
+		}
+		var wait float64
+		for _, j := range cl2.Jobs() {
+			if j.Barrier != nil {
+				wait += j.Barrier.WaitTime().Seconds()
+			}
+		}
+		var makespan float64
+		for _, j := range cl2.Jobs() {
+			if s := j.FinishedAt().Seconds(); s > makespan {
+				makespan = s
+			}
+		}
+		out = append(out, SyncRow{
+			Policy:         features.String(),
+			MakespanSec:    makespan,
+			BarrierWaitSec: wait,
+		})
+	}
+	return out, nil
+}
+
+// FormatSync renders the synchronization study.
+func FormatSync(rows []SyncRow) string {
+	s := "Synchronization under ±10% rank jitter (LU class C, 4 machines)\n"
+	s += fmt.Sprintf("%-14s %12s %16s\n", "policy", "makespan_s", "barrier_wait_s")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-14s %12.0f %16.0f\n", r.Policy, r.MakespanSec, r.BarrierWaitSec)
+	}
+	return s
+}

@@ -1,0 +1,17 @@
+// Package gang implements the user-level gang scheduler of the paper's
+// Figure 5: a controller that time-shares a cluster between parallel jobs
+// by stopping and resuming every rank of a job simultaneously at each
+// context-switch time, and that drives the adaptive-paging kernel API
+// (AdaptivePageOut, AdaptivePageIn, StartBGWrite, StopBGWrite) on every
+// node at each switch.
+//
+// Jobs rotate round-robin with multi-minute quanta (five minutes in the
+// paper's experiments; seven for SP on four nodes). Each job may carry a
+// working-set hint — the information the paper's scheduler passes into the
+// kernel through /dev/kmem — or leave the kernel to use its own estimate
+// from the previous quantum.
+//
+// The scheduler also supports batch mode, running jobs back to back with no
+// time-sharing, which is the paper's baseline for computing job-switching
+// overhead.
+package gang

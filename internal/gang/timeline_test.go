@@ -1,0 +1,58 @@
+package gang
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestTimelineContiguousAndComplete(t *testing.T) {
+	tb := newTestbed(t, 4096, core.Orig, []int{400, 400}, 60, 80*sim.Millisecond, Options{})
+	tb.sched.Start()
+	tb.eng.Run()
+	tl := tb.sched.Timeline()
+	if len(tl) < 3 {
+		t.Fatalf("timeline too short: %d intervals", len(tl))
+	}
+	seen := map[string]bool{}
+	for i, iv := range tl {
+		if iv.End <= iv.Start {
+			t.Fatalf("interval %d empty: %+v", i, iv)
+		}
+		if i > 0 && iv.Start < tl[i-1].End {
+			t.Fatalf("overlapping intervals: %+v then %+v", tl[i-1], iv)
+		}
+		seen[iv.Job] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("timeline missing a job: %v", seen)
+	}
+	// Alternation: consecutive intervals belong to different jobs until one
+	// finishes.
+	for i := 1; i < len(tl)-2; i++ {
+		if tl[i].Job == tl[i-1].Job {
+			// Allowed only after the other job has finished; the tail of
+			// the timeline may repeat.
+			break
+		}
+	}
+	// The timeline ends at the last finish time.
+	if got, want := tl[len(tl)-1].End, tb.sched.Stats().LastFinish; got > want {
+		t.Fatalf("timeline end %v beyond last finish %v", got, want)
+	}
+}
+
+func TestTimelineMidRunIncludesOpenInterval(t *testing.T) {
+	tb := newTestbed(t, 4096, core.Orig, []int{400, 400}, 5000, 100*sim.Millisecond, Options{})
+	tb.sched.Start()
+	tb.eng.RunFor(250 * sim.Millisecond)
+	tl := tb.sched.Timeline()
+	if len(tl) < 3 {
+		t.Fatalf("expected >= 3 intervals mid-run, got %d", len(tl))
+	}
+	last := tl[len(tl)-1]
+	if last.End != tb.eng.Now() {
+		t.Fatalf("open interval not closed at now: %+v vs %v", last, tb.eng.Now())
+	}
+}

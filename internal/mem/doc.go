@@ -1,0 +1,14 @@
+// Package mem models a node's physical page frames and the free-memory
+// watermarks that drive page reclaim.
+//
+// Linux 2.2 — the kernel the paper patches — wakes the swap daemon when the
+// free-page count drops below freepages.min and reclaims frames until it
+// rises above freepages.high. Physical reproduces exactly that watermark
+// mechanism: NeedReclaim reports how many frames a reclaim pass must free,
+// and BelowMin gates whether the fault path must reclaim before it can
+// allocate.
+//
+// A configurable number of frames can be wired down (Lock), mirroring the
+// paper's use of mlock() to shrink available memory so the NPB data sizes
+// over-commit it.
+package mem

@@ -1,0 +1,14 @@
+// Package metrics computes the quantities the paper reports: job
+// completion times, the job-switching overhead of gang scheduling relative
+// to a batch baseline, and the paging reduction of an adaptive policy
+// relative to the original algorithm (Figures 7-9), plus per-node paging
+// aggregates used for the activity traces and sanity checks.
+//
+// Definitions follow §4.1:
+//
+//	switching overhead  =  (T_gang − T_batch) / T_gang
+//	paging reduction    =  1 − (T_new − T_batch) / (T_orig − T_batch)
+//
+// where T_* is the completion time of the workload (last job to finish)
+// under the respective schedule.
+package metrics

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSwitchingOverhead(t *testing.T) {
+	// Paper example: LU serial overhead 26% means gang time ~1.35x batch.
+	if ov := SwitchingOverhead(1000*sim.Second, 740*sim.Second); !almost(ov, 0.26) {
+		t.Fatalf("overhead = %v", ov)
+	}
+	if ov := SwitchingOverhead(100*sim.Second, 100*sim.Second); ov != 0 {
+		t.Fatalf("equal times overhead = %v", ov)
+	}
+	if ov := SwitchingOverhead(100*sim.Second, 150*sim.Second); ov != 0 {
+		t.Fatalf("faster-than-batch clamps to 0, got %v", ov)
+	}
+}
+
+func TestSwitchingOverheadValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { SwitchingOverhead(0, 1) },
+		func() { SwitchingOverhead(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPagingReduction(t *testing.T) {
+	batch := 1000 * sim.Second
+	orig := 2000 * sim.Second // 1000s of switching time
+	if r := PagingReduction(orig, 1100*sim.Second, batch); !almost(r, 0.9) {
+		t.Fatalf("reduction = %v, want 0.9", r)
+	}
+	if r := PagingReduction(orig, orig, batch); r != 0 {
+		t.Fatalf("no-change reduction = %v", r)
+	}
+	if r := PagingReduction(orig, 2500*sim.Second, batch); !almost(r, -0.5) {
+		t.Fatalf("worse policy reduction = %v, want -0.5", r)
+	}
+	// New faster than batch clamps the numerator at 0 -> full reduction.
+	if r := PagingReduction(orig, 900*sim.Second, batch); r != 1 {
+		t.Fatalf("reduction = %v, want 1", r)
+	}
+	// Original with no overhead: nothing to reduce.
+	if r := PagingReduction(batch, batch, batch); r != 0 {
+		t.Fatalf("zero-overhead reduction = %v", r)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.834) != "83.4%" {
+		t.Fatalf("Pct = %q", Pct(0.834))
+	}
+}
+
+func TestCollect(t *testing.T) {
+	nc := cluster.DefaultNodeConfig()
+	nc.MemoryMB = 6
+	c, err := cluster.New(1, 2, nc, core.SOAOAIBG, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beh := proc.Behavior{
+		FootprintPages: 1000,
+		Iterations:     40,
+		Segments:       []proc.Segment{{Pages: 1000, Write: true, Passes: 1}},
+		TouchCost:      20 * sim.Microsecond,
+		SyncEveryIter:  true,
+		MsgBytes:       512,
+	}
+	c.AddJob(cluster.JobSpec{Name: "a", Behavior: beh, Quantum: 200 * sim.Millisecond, PassWSHint: true})
+	c.AddJob(cluster.JobSpec{Name: "b", Behavior: beh, Quantum: 200 * sim.Millisecond, PassWSHint: true})
+	c.BuildScheduler(gang.Options{})
+	if err := c.Run(2 * sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	r := Collect(c, "so/ao/ai/bg")
+	if r.Policy != "so/ao/ai/bg" || r.Mode != "gang" {
+		t.Fatalf("labels: %+v", r)
+	}
+	if len(r.Jobs) != 2 || len(r.Nodes) != 2 {
+		t.Fatalf("sizes: %d jobs %d nodes", len(r.Jobs), len(r.Nodes))
+	}
+	if r.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+	for _, j := range r.Jobs {
+		if sim.Duration(j.FinishedAt) > r.Makespan {
+			t.Fatal("makespan below a job's finish")
+		}
+	}
+	if r.Switches == 0 {
+		t.Fatal("no switches recorded")
+	}
+	if r.TotalPagesMoved() == 0 {
+		t.Fatal("no paging recorded under over-commit")
+	}
+	if r.TotalFaultStall() <= 0 {
+		t.Fatal("no fault stall recorded")
+	}
+}

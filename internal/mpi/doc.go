@@ -1,0 +1,13 @@
+// Package mpi models the synchronization layer the paper's parallel NPB2
+// runs use: ranks of a parallel job exchange messages over a shared
+// 100 Mbps Ethernet switch and synchronize with barriers each iteration.
+//
+// The model captures the property that matters for gang scheduling: a
+// barrier completes only when the slowest rank arrives, so one node stalled
+// in paging holds every other node of the job idle. This coupling is why
+// the paper forces paging to happen simultaneously on all nodes at the
+// start of the quantum.
+//
+// Costs are first-order: a barrier over n ranks pays ceil(log2(n)) message
+// latencies plus the payload transfer time at the link bandwidth.
+package mpi

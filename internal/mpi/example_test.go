@@ -1,0 +1,29 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// A barrier opens only when every rank has arrived; all ranks are released
+// at the same simulated instant after the collective's communication cost.
+func ExampleBarrier() {
+	eng := sim.NewEngine(1)
+	net := mpi.DefaultNetwork(eng)
+	bar := mpi.NewBarrier(net, 2)
+
+	eng.Schedule(sim.Second, func() {
+		bar.Arrive(0, func() { fmt.Println("rank 0 released at", eng.Now()) })
+	})
+	eng.Schedule(3*sim.Second, func() { // straggler
+		bar.Arrive(0, func() { fmt.Println("rank 1 released at", eng.Now()) })
+	})
+	eng.Run()
+	fmt.Println("rank 0 waited:", bar.WaitTime() > 2*sim.Second)
+	// Output:
+	// rank 0 released at 3.0001s
+	// rank 1 released at 3.0001s
+	// rank 0 waited: true
+}

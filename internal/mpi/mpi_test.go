@@ -1,0 +1,199 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := NewNetwork(eng, 100*sim.Microsecond, 12_500_000)
+	// 12.5 MB/s -> 1.25 MB takes 100 ms.
+	if got := n.TransferTime(1_250_000); got != 100*sim.Millisecond {
+		t.Fatalf("TransferTime = %v", got)
+	}
+	if n.TransferTime(0) != 0 {
+		t.Fatal("zero bytes should cost 0")
+	}
+}
+
+func TestTransferNegativePanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := DefaultNetwork(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.TransferTime(-1)
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	b := NewBarrier(net, 4)
+	released := make([]sim.Time, 0, 4)
+	arrive := func(at sim.Duration) {
+		eng.Schedule(at, func() {
+			b.Arrive(1000, func() { released = append(released, eng.Now()) })
+		})
+	}
+	arrive(0)
+	arrive(10 * sim.Millisecond)
+	arrive(20 * sim.Millisecond)
+	arrive(100 * sim.Millisecond) // straggler
+	eng.Run()
+	if len(released) != 4 {
+		t.Fatalf("released %d ranks", len(released))
+	}
+	for _, r := range released {
+		if r != released[0] {
+			t.Fatal("ranks released at different times")
+		}
+	}
+	// Release happens after the straggler plus collective cost.
+	if released[0] <= sim.Time(100*sim.Millisecond) {
+		t.Fatalf("release at %v, must be after straggler", released[0])
+	}
+	if b.Completions() != 1 {
+		t.Fatalf("completions = %d", b.Completions())
+	}
+	if b.Waiting() != 0 {
+		t.Fatal("barrier not reset")
+	}
+}
+
+func TestBarrierWaitTimeChargesStragglerDelay(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	b := NewBarrier(net, 2)
+	eng.Schedule(0, func() { b.Arrive(0, func() {}) })
+	eng.Schedule(sim.Second, func() { b.Arrive(0, func() {}) })
+	eng.Run()
+	// First rank waited ~1s plus cost; second only the cost.
+	if b.WaitTime() < sim.Second {
+		t.Fatalf("WaitTime = %v, want >= 1s", b.WaitTime())
+	}
+	if b.WaitTime() > sim.Second+10*sim.Millisecond {
+		t.Fatalf("WaitTime = %v implausibly large", b.WaitTime())
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	b := NewBarrier(net, 2)
+	count := 0
+	var loop func()
+	loop = func() {
+		if count >= 6 { // 3 generations x 2 ranks
+			return
+		}
+		b.Arrive(0, func() { count++; loop() })
+	}
+	// Two "ranks".
+	eng.Schedule(0, loop)
+	eng.Schedule(0, loop)
+	eng.Run()
+	if b.Completions() != 3 {
+		t.Fatalf("completions = %d, want 3", b.Completions())
+	}
+}
+
+func TestSingleRankBarrierIsImmediateish(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	b := NewBarrier(net, 1)
+	done := false
+	b.Arrive(0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("single-rank barrier never opened")
+	}
+	if eng.Now() != 0 { // 0 rounds, 0 bytes
+		t.Fatalf("single-rank barrier cost %v", eng.Now())
+	}
+}
+
+func TestBarrierOverArrivalPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := NewBarrier(DefaultNetwork(eng), 1)
+	// Arrive synchronously twice without draining the engine: the second
+	// arrival lands in the same generation (release is still queued).
+	b.Arrive(0, func() {})
+	// Generation already reset after last arrival, so this is legal; force
+	// the illegal case with a 2-rank barrier instead.
+	b2 := NewBarrier(DefaultNetwork(eng), 2)
+	b2.Arrive(0, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nil release")
+		}
+	}()
+	b2.Arrive(0, nil)
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	b := NewBarrier(net, 2)
+	b.Arrive(100, func() {})
+	b.Arrive(300, func() {})
+	eng.Run()
+	if net.Messages() != 2 || net.Bytes() != 400 {
+		t.Fatalf("msgs=%d bytes=%d", net.Messages(), net.Bytes())
+	}
+}
+
+func TestExchange(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	done := false
+	net.Exchange(12_500, func() { done = true }) // 1 ms transfer + 100 µs
+	eng.Run()
+	if !done {
+		t.Fatal("exchange never completed")
+	}
+	if eng.Now() != sim.Time(1100*sim.Microsecond) {
+		t.Fatalf("exchange completed at %v", eng.Now())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, f := range []func(){
+		func() { NewNetwork(eng, -1, 100) },
+		func() { NewNetwork(eng, 0, 0) },
+		func() { NewBarrier(DefaultNetwork(eng), 0) },
+		func() { DefaultNetwork(eng).Exchange(0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBarrierCostGrowsWithRanks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := DefaultNetwork(eng)
+	release2, release8 := sim.Time(0), sim.Time(0)
+	b2 := NewBarrier(net, 2)
+	b2.Arrive(0, func() { release2 = eng.Now() })
+	b2.Arrive(0, func() {})
+	eng.Run()
+	base := eng.Now()
+	b8 := NewBarrier(net, 8)
+	for i := 0; i < 8; i++ {
+		b8.Arrive(0, func() { release8 = eng.Now() })
+	}
+	eng.Run()
+	if release8.Sub(base) <= release2.Sub(0) {
+		t.Fatalf("8-rank barrier (%v) not costlier than 2-rank (%v)", release8.Sub(base), release2)
+	}
+}

@@ -1,0 +1,9 @@
+// Package plot renders the reproduction's figures as standalone SVG files
+// using only the standard library: time-series charts for the Figure 6
+// paging-activity traces and grouped bar charts for the Figure 7-9 style
+// comparisons.
+//
+// The renderer is deliberately small: linear scales, automatic "nice"
+// ticks, one polyline or rectangle group per series, and a legend. It
+// produces deterministic output so golden tests can pin the SVG structure.
+package plot

@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GanttRow is one labelled lane of a schedule chart.
+type GanttRow struct {
+	Label string
+	// Spans are (start, end) pairs in seconds.
+	Spans [][2]float64
+}
+
+// GanttOptions labels a schedule chart.
+type GanttOptions struct {
+	Title  string
+	XLabel string
+	Width  int
+	Height int
+}
+
+// Gantt renders a schedule timeline: one lane per row, one rectangle per
+// span. Used to visualise who owned the cluster when under gang
+// scheduling.
+func Gantt(rows []GanttRow, opt GanttOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = defaultWidth
+	}
+	if opt.Height <= 0 {
+		opt.Height = 60 + 36*len(rows)
+		if opt.Height < 120 {
+			opt.Height = 120
+		}
+	}
+	maxX := 0.0
+	for _, r := range rows {
+		for _, s := range r.Spans {
+			if s[1] > maxX {
+				maxX = s[1]
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+
+	var b strings.Builder
+	openSVG(&b, opt.Width, opt.Height)
+	frame(&b, opt.Width, opt.Height, opt.Title, opt.XLabel, "", maxX, 1)
+
+	plotW := float64(opt.Width - marginLeft - marginRight)
+	plotH := float64(opt.Height - marginTop - marginBottom)
+	laneH := plotH / float64(max(len(rows), 1))
+	barH := laneH * 0.6
+	for i, r := range rows {
+		y := float64(marginTop) + laneH*float64(i) + (laneH-barH)/2
+		for _, s := range r.Spans {
+			x0 := float64(marginLeft) + plotW*s[0]/maxX
+			x1 := float64(marginLeft) + plotW*s[1]/maxX
+			if x1 < x0 {
+				x0, x1 = x1, x0
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.85"/>`,
+				x0, y, x1-x0, barH, palette[i%len(palette)])
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`,
+			marginLeft-6, y+barH/2+4, esc(r.Label))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// GanttFromIntervals groups (job, start, end) triples into lanes, one per
+// distinct job name in first-appearance order.
+func GanttFromIntervals(names []string, starts, ends []float64) []GanttRow {
+	if len(names) != len(starts) || len(names) != len(ends) {
+		panic("plot: GanttFromIntervals length mismatch")
+	}
+	idx := map[string]int{}
+	var rows []GanttRow
+	for i, n := range names {
+		j, ok := idx[n]
+		if !ok {
+			j = len(rows)
+			idx[n] = j
+			rows = append(rows, GanttRow{Label: n})
+		}
+		rows[j].Spans = append(rows[j].Spans, [2]float64{starts[i], ends[i]})
+	}
+	for i := range rows {
+		sort.Slice(rows[i].Spans, func(a, b int) bool { return rows[i].Spans[a][0] < rows[i].Spans[b][0] })
+	}
+	return rows
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttBasics(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "LU-1", Spans: [][2]float64{{0, 300}, {600, 900}}},
+		{Label: "LU-2", Spans: [][2]float64{{300, 600}, {900, 1100}}},
+	}
+	svg := Gantt(rows, GanttOptions{Title: "schedule", XLabel: "time (s)"})
+	for _, want := range []string{"LU-1", "LU-2", "schedule", "time (s)", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Background + 4 spans.
+	if n := strings.Count(svg, "<rect"); n != 5 {
+		t.Fatalf("rects = %d, want 5", n)
+	}
+}
+
+func TestGanttEmptySafe(t *testing.T) {
+	if !strings.Contains(Gantt(nil, GanttOptions{}), "</svg>") {
+		t.Fatal("broken svg")
+	}
+}
+
+func TestGanttFromIntervals(t *testing.T) {
+	rows := GanttFromIntervals(
+		[]string{"a", "b", "a"},
+		[]float64{0, 10, 20},
+		[]float64{10, 20, 30},
+	)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "a" || len(rows[0].Spans) != 2 {
+		t.Fatalf("row a = %+v", rows[0])
+	}
+	if rows[0].Spans[0][0] != 0 || rows[0].Spans[1][0] != 20 {
+		t.Fatalf("spans not sorted: %+v", rows[0].Spans)
+	}
+}
+
+func TestGanttFromIntervalsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GanttFromIntervals([]string{"a"}, []float64{1, 2}, []float64{3})
+}

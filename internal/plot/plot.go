@@ -1,0 +1,279 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette used for series, in order.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+// Size of the drawing area.
+const (
+	defaultWidth  = 720
+	defaultHeight = 300
+	marginLeft    = 64
+	marginRight   = 16
+	marginTop     = 28
+	marginBottom  = 44
+)
+
+// Series is one named line of a time-series chart.
+type Series struct {
+	Name string
+	// Y holds one value per X step (uniform spacing).
+	Y []float64
+	// XStep is the x distance between consecutive samples (e.g. seconds
+	// per bin).
+	XStep float64
+}
+
+// LineOptions labels a time-series chart.
+type LineOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+}
+
+// Line renders series as an SVG line chart.
+func Line(series []Series, opt LineOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = defaultWidth
+	}
+	if opt.Height <= 0 {
+		opt.Height = defaultHeight
+	}
+	maxX, maxY := 0.0, 0.0
+	for _, s := range series {
+		step := s.XStep
+		if step <= 0 {
+			step = 1
+		}
+		if x := float64(len(s.Y)) * step; x > maxX {
+			maxX = x
+		}
+		for _, v := range s.Y {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxY = niceCeil(maxY)
+
+	var b strings.Builder
+	openSVG(&b, opt.Width, opt.Height)
+	frame(&b, opt.Width, opt.Height, opt.Title, opt.XLabel, opt.YLabel, maxX, maxY)
+
+	plotW := float64(opt.Width - marginLeft - marginRight)
+	plotH := float64(opt.Height - marginTop - marginBottom)
+	for i, s := range series {
+		step := s.XStep
+		if step <= 0 {
+			step = 1
+		}
+		var pts []string
+		for j, v := range s.Y {
+			x := marginLeft + plotW*(float64(j)*step)/maxX
+			y := float64(marginTop) + plotH*(1-v/maxY)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.2" points="%s"/>`,
+				palette[i%len(palette)], strings.Join(pts, " "))
+			b.WriteByte('\n')
+		}
+		legend(&b, i, s.Name, opt.Width)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bar is one labelled group of a bar chart (e.g. one app with one value
+// per policy).
+type Bar struct {
+	Label  string
+	Values []float64
+}
+
+// BarOptions labels a grouped bar chart.
+type BarOptions struct {
+	Title   string
+	YLabel  string
+	Series  []string // one name per value within each group
+	Width   int
+	Height  int
+	Percent bool // render the y axis as 0-100%
+}
+
+// Bars renders grouped bars as SVG.
+func Bars(groups []Bar, opt BarOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = defaultWidth
+	}
+	if opt.Height <= 0 {
+		opt.Height = defaultHeight
+	}
+	maxY := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if opt.Percent {
+		maxY = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxY = niceCeil(maxY)
+
+	var b strings.Builder
+	openSVG(&b, opt.Width, opt.Height)
+	frame(&b, opt.Width, opt.Height, opt.Title, "", opt.YLabel, 0, maxY)
+
+	plotW := float64(opt.Width - marginLeft - marginRight)
+	plotH := float64(opt.Height - marginTop - marginBottom)
+	if len(groups) > 0 {
+		groupW := plotW / float64(len(groups))
+		for gi, g := range groups {
+			n := len(g.Values)
+			if n == 0 {
+				continue
+			}
+			barW := groupW * 0.8 / float64(n)
+			for vi, v := range g.Values {
+				x := float64(marginLeft) + groupW*float64(gi) + groupW*0.1 + barW*float64(vi)
+				h := plotH * v / maxY
+				if h < 0 {
+					h = 0
+				}
+				y := float64(marginTop) + plotH - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+					x, y, barW, h, palette[vi%len(palette)])
+				b.WriteByte('\n')
+			}
+			// Group label.
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+				float64(marginLeft)+groupW*(float64(gi)+0.5), opt.Height-marginBottom+16, esc(g.Label))
+			b.WriteByte('\n')
+		}
+	}
+	for i, name := range opt.Series {
+		legend(&b, i, name, opt.Width)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func openSVG(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		w, h, w, h)
+	b.WriteByte('\n')
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`, w, h)
+	b.WriteByte('\n')
+}
+
+// frame draws the axes, ticks, grid and labels. maxX==0 omits x ticks (bar
+// charts label groups instead).
+func frame(b *strings.Builder, w, h int, title, xlabel, ylabel string, maxX, maxY float64) {
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	fmt.Fprintf(b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`, marginLeft, esc(title))
+	b.WriteByte('\n')
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	b.WriteByte('\n')
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	b.WriteByte('\n')
+	// Y ticks and grid.
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		y := float64(marginTop) + float64(plotH)*(1-float64(i)/4)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginLeft, y, marginLeft+plotW, y)
+		b.WriteByte('\n')
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`,
+			marginLeft-6, y+3, fmtTick(v))
+		b.WriteByte('\n')
+	}
+	// X ticks.
+	if maxX > 0 {
+		for i := 0; i <= 5; i++ {
+			v := maxX * float64(i) / 5
+			x := float64(marginLeft) + float64(plotW)*float64(i)/5
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+				x, marginTop+plotH+14, fmtTick(v))
+			b.WriteByte('\n')
+		}
+	}
+	if xlabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			marginLeft+plotW/2, h-8, esc(xlabel))
+		b.WriteByte('\n')
+	}
+	if ylabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+			marginTop+plotH/2, marginTop+plotH/2, esc(ylabel))
+		b.WriteByte('\n')
+	}
+}
+
+func legend(b *strings.Builder, i int, name string, width int) {
+	if name == "" {
+		return
+	}
+	x := width - marginRight - 150
+	y := marginTop + 4 + 14*i
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`,
+		x, y, palette[i%len(palette)])
+	b.WriteByte('\n')
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10">%s</text>`, x+14, y+9, esc(name))
+	b.WriteByte('\n')
+}
+
+// niceCeil rounds up to 1, 2 or 5 times a power of ten.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*base {
+			return m * base
+		}
+	}
+	return 10 * base
+}
+
+// fmtTick renders axis values compactly (1.2k, 3.4M).
+func fmtTick(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasics(t *testing.T) {
+	svg := Line([]Series{
+		{Name: "page-in", Y: []float64{0, 100, 50, 0}, XStep: 1},
+		{Name: "page-out", Y: []float64{10, 20, 30}, XStep: 1},
+	}, LineOptions{Title: "trace", XLabel: "time (s)", YLabel: "KB/s"})
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "page-in", "page-out", "trace",
+		"time (s)", "KB/s",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Fatalf("polylines = %d, want 2", n)
+	}
+}
+
+func TestLineDeterministic(t *testing.T) {
+	s := []Series{{Name: "x", Y: []float64{1, 2, 3}, XStep: 2}}
+	if Line(s, LineOptions{}) != Line(s, LineOptions{}) {
+		t.Fatal("non-deterministic output")
+	}
+}
+
+func TestLineEmptySeriesSafe(t *testing.T) {
+	svg := Line(nil, LineOptions{Title: "empty"})
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("broken svg")
+	}
+	svg = Line([]Series{{Name: "none"}}, LineOptions{})
+	if strings.Contains(svg, "<polyline") {
+		t.Fatal("polyline for empty series")
+	}
+}
+
+func TestBarsBasics(t *testing.T) {
+	svg := Bars([]Bar{
+		{Label: "LU", Values: []float64{0.26, 0.05}},
+		{Label: "MG", Values: []float64{0.50, 0.09}},
+	}, BarOptions{Title: "overhead", YLabel: "fraction", Series: []string{"orig", "adaptive"}, Percent: true})
+	for _, want := range []string{"<rect", "LU", "MG", "orig", "adaptive", "overhead"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// 2 groups x 2 values = 4 bars plus the background rect.
+	if n := strings.Count(svg, "<rect"); n != 4+1+2 { // + 2 legend swatches
+		t.Fatalf("rects = %d, want 7", n)
+	}
+}
+
+func TestBarsNegativeClamped(t *testing.T) {
+	svg := Bars([]Bar{{Label: "x", Values: []float64{-0.5}}}, BarOptions{})
+	if !strings.Contains(svg, `height="0.0"`) {
+		t.Fatal("negative value not clamped to zero-height bar")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 12: 20, 99: 100, 450: 500, 0: 1,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		1500:    "1.5k",
+		2000000: "2M",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := Line([]Series{{Name: "a<b&c", Y: []float64{1}}}, LineOptions{Title: `x "quoted"`})
+	if strings.Contains(svg, "a<b") {
+		t.Fatal("unescaped series name")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") || !strings.Contains(svg, "&quot;quoted&quot;") {
+		t.Fatal("escape output wrong")
+	}
+}

@@ -1,0 +1,19 @@
+// Package proc models an application process as a memory reference engine
+// driving the vm substrate.
+//
+// Instead of simulating individual loads and stores, a Process walks the
+// segments of its Behavior in runs: the longest resident run from the
+// cursor is charged run × TouchCost of compute in a single event, and the
+// first non-resident page enters the vm fault path, blocking the process
+// until the disk transfer completes. Event count is therefore proportional
+// to page faults, not memory references, which keeps multi-hour simulated
+// runs cheap.
+//
+// A Behavior is a sequence of touch segments executed every iteration
+// (e.g. "sweep the whole array writing" for LU's SSOR, or "read the matrix,
+// write the small vectors" for CG), optionally followed by per-iteration
+// compute and an MPI barrier for parallel ranks. Start and Stop mirror the
+// SIGCONT/SIGSTOP control the paper's user-level gang scheduler uses; a
+// stopped process finishes any in-flight fault or barrier but does not
+// advance further until restarted.
+package proc

@@ -1,0 +1,90 @@
+package proc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestInitWriteDirtiesReadOnlyRegions(t *testing.T) {
+	r := newRig(t, 1024)
+	r.vm.NewProcess(1, 100)
+	beh := Behavior{
+		FootprintPages: 100,
+		Iterations:     3,
+		Segments: []Segment{
+			{Offset: 0, Pages: 20, Write: true, Passes: 1},
+			{Offset: 20, Pages: 80, Write: false, Passes: 1}, // read-only matrix
+		},
+		TouchCost: 5 * sim.Microsecond,
+		InitWrite: true,
+	}
+	p := New(r.eng, r.vm, 1, beh, nil, nil)
+	p.Start()
+	// Past the init iteration (~1.2 ms with zero-fill fault overheads).
+	r.eng.RunFor(2 * sim.Millisecond)
+	if d := r.vm.DirtyPages(1); d != 100 {
+		t.Fatalf("after init iteration dirty = %d, want all 100", d)
+	}
+	r.eng.Run()
+	if !p.Done() {
+		t.Fatal("not done")
+	}
+}
+
+func TestWithoutInitWriteReadRegionStaysClean(t *testing.T) {
+	r := newRig(t, 1024)
+	r.vm.NewProcess(1, 100)
+	beh := Behavior{
+		FootprintPages: 100,
+		Iterations:     2,
+		Segments: []Segment{
+			{Offset: 0, Pages: 20, Write: true, Passes: 1},
+			{Offset: 20, Pages: 80, Write: false, Passes: 1},
+		},
+		TouchCost: 5 * sim.Microsecond,
+	}
+	p := New(r.eng, r.vm, 1, beh, nil, nil)
+	p.Start()
+	r.eng.Run()
+	if d := r.vm.DirtyPages(1); d != 20 {
+		t.Fatalf("dirty = %d, want only the write segment", d)
+	}
+	_ = p
+}
+
+func TestInitWriteOnlyFirstIteration(t *testing.T) {
+	// After the init iteration, evict and re-run: the read region must be
+	// reloaded from disk but not re-dirtied.
+	r := newRig(t, 1024)
+	r.vm.NewProcess(1, 50)
+	beh := Behavior{
+		FootprintPages: 50,
+		Iterations:     10,
+		Segments:       []Segment{{Offset: 0, Pages: 50, Write: false, Passes: 1}},
+		TouchCost:      5 * sim.Microsecond,
+		InitWrite:      true,
+	}
+	p := New(r.eng, r.vm, 1, beh, nil, nil)
+	p.Start()
+	r.eng.RunFor(1500 * sim.Microsecond) // past the init iteration (~600 µs with faults), mid-run
+	p.Stop()
+	r.eng.Run()
+	if p.Iteration() < 1 || p.Done() {
+		t.Fatalf("expected to be mid-run past init (iter=%d done=%v)", p.Iteration(), p.Done())
+	}
+	r.vm.ReclaimFrom(1, 50) // writes everything to swap
+	r.eng.Run()
+	p.Start()
+	r.eng.Run()
+	if !p.Done() {
+		t.Fatal("not done")
+	}
+	st := r.vm.Process(1).Stats()
+	if st.PagesIn == 0 {
+		t.Fatal("reload after eviction should read from swap (init made pages disk-backed)")
+	}
+	if d := r.vm.DirtyPages(1); d != 0 {
+		t.Fatalf("read-only iterations re-dirtied %d pages", d)
+	}
+}

@@ -1,0 +1,356 @@
+package proc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Segment is one touch range executed each iteration.
+type Segment struct {
+	Offset int  // first page of the range within the footprint
+	Pages  int  // length of the range
+	Write  bool // stores (dirty pages) vs loads
+	Passes int  // sweeps over the range per iteration (>= 1)
+}
+
+// Behavior describes a process's memory reference pattern.
+type Behavior struct {
+	FootprintPages int
+	Iterations     int
+	Segments       []Segment
+	// TouchCost is the CPU time per page visited when resident.
+	TouchCost sim.Duration
+	// ComputePerIter is extra pure-CPU time per iteration (work that does
+	// not sweep memory).
+	ComputePerIter sim.Duration
+	// InitWrite makes every touch of the first iteration a write,
+	// modelling array initialisation: even read-only regions (e.g. CG's
+	// sparse matrix) are written once, so they have real backing-store
+	// copies and reloading them costs disk reads rather than zero fills.
+	InitWrite bool
+	// Jitter varies each iteration's compute cost by a uniform factor in
+	// [1-Jitter, 1+Jitter], drawn from the engine's seeded RNG. Real ranks
+	// never run in lock step; jitter is what makes barrier waiting — and
+	// the benefit of synchronising paging across nodes — visible.
+	Jitter float64
+	// SyncEveryIter makes the rank enter its job barrier after each
+	// iteration (parallel jobs).
+	SyncEveryIter bool
+	// MsgBytes is the barrier payload per rank.
+	MsgBytes int
+}
+
+// Validate reports configuration errors.
+func (b Behavior) Validate() error {
+	if b.FootprintPages <= 0 {
+		return fmt.Errorf("proc: footprint must be positive, got %d", b.FootprintPages)
+	}
+	if b.Iterations <= 0 {
+		return fmt.Errorf("proc: iterations must be positive, got %d", b.Iterations)
+	}
+	if len(b.Segments) == 0 {
+		return fmt.Errorf("proc: behavior needs at least one segment")
+	}
+	if b.TouchCost <= 0 {
+		return fmt.Errorf("proc: touch cost must be positive, got %v", b.TouchCost)
+	}
+	if b.ComputePerIter < 0 {
+		return fmt.Errorf("proc: negative ComputePerIter %v", b.ComputePerIter)
+	}
+	if b.MsgBytes < 0 {
+		return fmt.Errorf("proc: negative MsgBytes %d", b.MsgBytes)
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		return fmt.Errorf("proc: jitter %v outside [0, 1)", b.Jitter)
+	}
+	for i, s := range b.Segments {
+		if s.Pages <= 0 || s.Offset < 0 || s.Offset+s.Pages > b.FootprintPages {
+			return fmt.Errorf("proc: segment %d out of range: %+v (footprint %d)", i, s, b.FootprintPages)
+		}
+		if s.Passes < 1 {
+			return fmt.Errorf("proc: segment %d needs >= 1 pass, got %d", i, s.Passes)
+		}
+	}
+	return nil
+}
+
+// WorkingSetPages reports the number of distinct pages touched per
+// iteration (the union of the segment ranges).
+func (b Behavior) WorkingSetPages() int {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, len(b.Segments))
+	for i, s := range b.Segments {
+		ivs[i] = iv{s.Offset, s.Offset + s.Pages}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	total, curLo, curHi := 0, -1, -1
+	for _, v := range ivs {
+		if curHi < 0 || v.lo > curHi {
+			total += curHi - curLo
+			curLo, curHi = v.lo, v.hi
+			continue
+		}
+		if v.hi > curHi {
+			curHi = v.hi
+		}
+	}
+	total += curHi - curLo
+	if curHi < 0 {
+		return 0
+	}
+	return total
+}
+
+// TouchesPerIteration reports the number of page visits one iteration
+// makes (segments × passes), resident or not.
+func (b Behavior) TouchesPerIteration() int64 {
+	var n int64
+	for _, s := range b.Segments {
+		n += int64(s.Pages) * int64(s.Passes)
+	}
+	return n
+}
+
+// phase is the program counter's coarse position.
+type phase int
+
+const (
+	phaseTouch phase = iota
+	phaseIterCompute
+	phaseBarrier
+	phaseIterEnd
+	phaseDone
+)
+
+// Stats summarises one process's execution.
+type Stats struct {
+	ComputeTime    sim.Duration
+	BarrierWaits   int64
+	IterationsDone int
+	StartedAt      sim.Time
+	FinishedAt     sim.Time
+}
+
+// Process executes a Behavior against a VM under external start/stop
+// control.
+type Process struct {
+	eng     *sim.Engine
+	v       *vm.VM
+	pid     int
+	beh     Behavior
+	barrier *mpi.Barrier // nil for serial processes
+
+	// ChunkPages caps the pages charged in a single compute event so stop
+	// requests take effect promptly; set before the first Start.
+	ChunkPages int
+
+	running bool
+	started bool
+	blocked bool // waiting on fault/compute/barrier completion event
+	done    bool
+
+	ph     phase
+	iter   int
+	segIdx int
+	pass   int
+	cursor int
+
+	// iterScale is this iteration's jittered compute-cost factor.
+	iterScale float64
+
+	stats    Stats
+	onFinish func(*Process)
+}
+
+// New creates a process engine for pid, whose address space must already
+// exist in v with at least beh.FootprintPages pages. barrier may be nil;
+// onFinish (may be nil) fires when the final iteration completes.
+func New(eng *sim.Engine, v *vm.VM, pid int, beh Behavior, barrier *mpi.Barrier, onFinish func(*Process)) *Process {
+	if err := beh.Validate(); err != nil {
+		panic(err)
+	}
+	as := v.Process(pid)
+	if as == nil {
+		panic(fmt.Sprintf("proc: pid %d has no address space", pid))
+	}
+	if as.NumPages() < beh.FootprintPages {
+		panic(fmt.Sprintf("proc: pid %d address space %d pages < footprint %d",
+			pid, as.NumPages(), beh.FootprintPages))
+	}
+	if beh.SyncEveryIter && barrier == nil {
+		panic(fmt.Sprintf("proc: pid %d requires a barrier (SyncEveryIter)", pid))
+	}
+	p := &Process{
+		eng:        eng,
+		v:          v,
+		pid:        pid,
+		beh:        beh,
+		barrier:    barrier,
+		ChunkPages: 8192,
+		cursor:     beh.Segments[0].Offset,
+		onFinish:   onFinish,
+		iterScale:  1,
+	}
+	p.rollJitter()
+	return p
+}
+
+// rollJitter draws the next iteration's compute-cost factor.
+func (p *Process) rollJitter() {
+	if p.beh.Jitter <= 0 {
+		p.iterScale = 1
+		return
+	}
+	u := p.eng.Rand().Float64() // deterministic per engine seed
+	p.iterScale = 1 + p.beh.Jitter*(2*u-1)
+}
+
+// PID reports the process id.
+func (p *Process) PID() int { return p.pid }
+
+// Behavior returns the reference pattern.
+func (p *Process) Behavior() Behavior { return p.beh }
+
+// Running reports whether the scheduler has the process started.
+func (p *Process) Running() bool { return p.running }
+
+// Done reports whether all iterations have completed.
+func (p *Process) Done() bool { return p.done }
+
+// Iteration reports the current (0-based) iteration index.
+func (p *Process) Iteration() int { return p.iter }
+
+// Stats returns a copy of the execution counters.
+func (p *Process) Stats() Stats { return p.stats }
+
+// Start resumes execution (SIGCONT). Starting a running or finished
+// process is a no-op.
+func (p *Process) Start() {
+	if p.running || p.done {
+		return
+	}
+	p.running = true
+	if !p.started {
+		p.started = true
+		p.stats.StartedAt = p.eng.Now()
+	}
+	if !p.blocked {
+		p.advance()
+	}
+}
+
+// Stop pauses execution (SIGSTOP). An in-flight fault, compute chunk or
+// barrier completes, after which the process waits for Start.
+func (p *Process) Stop() { p.running = false }
+
+// resume is the completion callback for every blocking event.
+func (p *Process) resume() {
+	p.blocked = false
+	if p.running && !p.done {
+		p.advance()
+	}
+}
+
+// block registers that a completion event will call resume.
+func (p *Process) block() { p.blocked = true }
+
+// advance executes program steps until the process blocks or finishes.
+func (p *Process) advance() {
+	for {
+		if !p.running || p.done {
+			return
+		}
+		switch p.ph {
+		case phaseTouch:
+			if p.stepTouch() {
+				return // blocked
+			}
+		case phaseIterCompute:
+			p.ph = phaseBarrier
+			if p.beh.ComputePerIter > 0 {
+				cost := p.beh.ComputePerIter.Scale(p.iterScale)
+				p.stats.ComputeTime += cost
+				p.block()
+				p.eng.Schedule(cost, p.resume)
+				return
+			}
+		case phaseBarrier:
+			p.ph = phaseIterEnd
+			if p.beh.SyncEveryIter {
+				p.stats.BarrierWaits++
+				p.block()
+				p.barrier.Arrive(p.beh.MsgBytes, p.resume)
+				return
+			}
+		case phaseIterEnd:
+			p.ph = phaseTouch
+			p.endIteration()
+			if p.done {
+				return
+			}
+		case phaseDone:
+			return
+		}
+	}
+}
+
+// stepTouch advances within the current segment; reports true if blocked.
+func (p *Process) stepTouch() bool {
+	seg := p.beh.Segments[p.segIdx]
+	end := seg.Offset + seg.Pages
+	if p.cursor >= end {
+		// Next pass / segment / iteration boundary.
+		p.pass++
+		if p.pass < seg.Passes {
+			p.cursor = seg.Offset
+			return false
+		}
+		p.pass = 0
+		p.segIdx++
+		if p.segIdx < len(p.beh.Segments) {
+			p.cursor = p.beh.Segments[p.segIdx].Offset
+			return false
+		}
+		p.segIdx = 0
+		p.cursor = p.beh.Segments[0].Offset
+		p.ph = phaseIterCompute
+		return false
+	}
+	max := end - p.cursor
+	if max > p.ChunkPages {
+		max = p.ChunkPages
+	}
+	write := seg.Write || (p.beh.InitWrite && p.iter == 0)
+	run := p.v.ResidentRun(p.pid, p.cursor, max)
+	if run == 0 {
+		p.block()
+		p.v.Fault(p.pid, p.cursor, write, p.resume)
+		return true
+	}
+	p.v.TouchResident(p.pid, p.cursor, run, write)
+	p.cursor += run
+	cost := (sim.Duration(run) * p.beh.TouchCost).Scale(p.iterScale)
+	p.stats.ComputeTime += cost
+	p.block()
+	p.eng.Schedule(cost, p.resume)
+	return true
+}
+
+func (p *Process) endIteration() {
+	p.iter++
+	p.stats.IterationsDone = p.iter
+	p.rollJitter()
+	if p.iter >= p.beh.Iterations {
+		p.done = true
+		p.ph = phaseDone
+		p.running = false
+		p.stats.FinishedAt = p.eng.Now()
+		if p.onFinish != nil {
+			p.onFinish(p)
+		}
+	}
+}

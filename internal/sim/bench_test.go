@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%1000), func() {})
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkEventChain(b *testing.B) {
+	// A chain of events each scheduling the next: the proc engine's
+	// compute-loop pattern.
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.Schedule(10, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Schedule(1, step)
+	e.Run()
+}
+
+func BenchmarkCancelHeavy(b *testing.B) {
+	// Schedule/cancel churn: the gang scheduler's timer pattern.
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(1000, func() {})
+		ev.Cancel()
+		if i%1024 == 1023 {
+			e.Run() // drain the cancelled backlog
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other subsystem in this repository.
+//
+// The kernel is a single-threaded event loop over a binary heap of events
+// ordered by (time, sequence number). The sequence number makes execution
+// deterministic when several events share a timestamp: events fire in the
+// order they were scheduled. All model time is expressed in microseconds
+// via the Time and Duration types; there is no wall-clock coupling, so a
+// run with a given seed is exactly reproducible.
+//
+// Components schedule work with Engine.Schedule / Engine.At and may cancel
+// a pending event with Event.Cancel. Long-running activities (a process
+// computing, a disk servicing a request) are modelled as chains of events
+// rather than goroutines, which keeps the simulator deterministic and
+// allocation-light.
+package sim

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// Engine.At; holding the returned pointer allows cancellation.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	fired  bool
+	cancel bool
+}
+
+// At reports the time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was actually descheduled by this call.
+func (e *Event) Cancel() bool {
+	if e == nil || e.fired || e.cancel {
+		return false
+	}
+	e.cancel = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool { return e != nil && !e.fired && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation event loop. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	pq   eventHeap
+	now  Time
+	seq  uint64
+	rng  *rand.Rand
+	nRun uint64 // events executed
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose RNG is
+// seeded with seed. All model randomness must come from Engine.Rand so runs
+// are reproducible.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.nRun }
+
+// Pending reports the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule queues fn to run after delay. A negative delay panics: the
+// simulator cannot travel backwards.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v at %v", delay, e.now))
+	}
+	return e.At(e.now.Add(delay), fn)
+}
+
+// At queues fn to run at the absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// reports false when the queue is empty (cancelled events are skipped and
+// do not count as a step).
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.nRun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events within the next d of simulated time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) peek() *Event {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancel {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return e.pq[0]
+	}
+	return nil
+}
+
+// NextEventTime reports the timestamp of the next pending event and whether
+// one exists.
+func (e *Engine) NextEventTime() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

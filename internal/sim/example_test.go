@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The engine executes scheduled callbacks in timestamp order; same-time
+// events fire in scheduling order, which makes runs reproducible.
+func ExampleEngine() {
+	eng := sim.NewEngine(1)
+	eng.Schedule(2*sim.Second, func() { fmt.Println("later at", eng.Now()) })
+	eng.Schedule(sim.Second, func() {
+		fmt.Println("first at", eng.Now())
+		eng.Schedule(500*sim.Millisecond, func() { fmt.Println("nested at", eng.Now()) })
+	})
+	eng.Run()
+	// Output:
+	// first at 1s
+	// nested at 1.5s
+	// later at 2s
+}
+
+// Events can be cancelled while pending.
+func ExampleEvent_Cancel() {
+	eng := sim.NewEngine(1)
+	ev := eng.Schedule(sim.Second, func() { fmt.Println("never") })
+	fmt.Println("cancelled:", ev.Cancel())
+	eng.Run()
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// cancelled: true
+	// clock: 0s
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulation timestamp in microseconds since the start
+// of the run. The zero Time is the beginning of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in microseconds.
+type Duration int64
+
+// Common durations, mirroring the time package but in simulated µs.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports the timestamp as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the timestamp as a time.Duration for readability.
+func (t Time) String() string { return (time.Duration(t) * time.Microsecond).String() }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis reports the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// String renders the duration as a time.Duration for readability.
+func (d Duration) String() string { return (time.Duration(d) * time.Microsecond).String() }
+
+// DurationOf converts a wall-clock time.Duration into a simulated Duration,
+// truncating to whole microseconds.
+func DurationOf(d time.Duration) Duration { return Duration(d / time.Microsecond) }
+
+// Scale multiplies a duration by a dimensionless factor, rounding to the
+// nearest microsecond and never returning a negative result for positive
+// inputs.
+func (d Duration) Scale(f float64) Duration {
+	v := float64(d) * f
+	if v < 0 {
+		return Duration(v - 0.5)
+	}
+	return Duration(v + 0.5)
+}
+
+// CheckNonNegative panics if d is negative; used to validate configuration.
+func (d Duration) CheckNonNegative(what string) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s must be non-negative, got %v", what, d))
+	}
+}

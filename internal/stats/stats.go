@@ -1,0 +1,58 @@
+// Package stats provides the small descriptive statistics the multi-seed
+// experiments report: mean, sample standard deviation and extrema.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs; an empty sample yields a zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders "mean ± sd [min, max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f ± %.1f [%.1f, %.1f] (n=%d)", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}
+
+// RelStdDev reports the coefficient of variation (0 when the mean is 0).
+func (s Summary) RelStdDev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / math.Abs(s.Mean)
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample sd of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Fatalf("sd = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("extrema = %v %v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.StdDev != 0 {
+		t.Fatalf("singleton = %+v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Summarize([]float64{1, 3}).String()
+	if got != "2.0 ± 1.4 [1.0, 3.0] (n=2)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	if Summarize([]float64{10, 10}).RelStdDev() != 0 {
+		t.Fatal("constant sample rel sd != 0")
+	}
+	if Summarize(nil).RelStdDev() != 0 {
+		t.Fatal("empty rel sd != 0")
+	}
+	s := Summarize([]float64{-1, 1})
+	if s.RelStdDev() != 0 { // mean 0 guard
+		t.Fatal("zero-mean rel sd not guarded")
+	}
+}

@@ -1,0 +1,13 @@
+// Package swap manages space on the paging device.
+//
+// Two layers are provided. The extent allocator (Space) hands out runs of
+// slots from a free list with first-fit placement and coalescing on free —
+// a faithful, if simplified, stand-in for a swap partition's slot map.
+//
+// On top of it, Reserve carves a per-process contiguous region sized to the
+// process's footprint, so virtual page v of a process maps to slot
+// region.Start+v. This mirrors how block-paging systems lay a job's pages
+// out contiguously on the paging device (Tetzlaff et al., VM/HPO), and it
+// is what makes the paper's batched page-in/page-out requests sequential:
+// contiguous virtual pages are contiguous on disk.
+package swap

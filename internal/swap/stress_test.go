@@ -1,0 +1,85 @@
+package swap
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+)
+
+// TestFragmentationChurn exercises long-lived reservation churn with mixed
+// sizes — the pattern a gang-scheduled node produces as jobs come and go —
+// and checks that coalescing keeps the space usable.
+func TestFragmentationChurn(t *testing.T) {
+	s := New(1 << 16) // 256 MB of slots
+	type res struct{ r Region }
+	live := map[int]res{}
+	id := 0
+	sizes := []int{256, 1024, 4096, 8192, 16384}
+	for round := 0; round < 200; round++ {
+		size := sizes[round%len(sizes)]
+		if reg, err := s.Reserve(size); err == nil {
+			live[id] = res{reg}
+			id++
+		}
+		// Free every third reservation to fragment the space.
+		for k, v := range live {
+			if k%3 == round%3 {
+				s.ReleaseRegion(v.r)
+				delete(live, k)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	for _, v := range live {
+		s.ReleaseRegion(v.r)
+	}
+	if s.Used() != 0 {
+		t.Fatalf("leak: %d slots", s.Used())
+	}
+	if s.LargestExtent() != 1<<16 {
+		t.Fatal("space did not coalesce back to one extent")
+	}
+}
+
+// TestAllocAfterHeavyFragmentation ensures scattered Alloc still succeeds
+// when no single extent is large enough.
+func TestAllocAfterHeavyFragmentation(t *testing.T) {
+	s := New(1024)
+	var regions []Region
+	for i := 0; i < 16; i++ {
+		r, err := s.Reserve(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	// Free alternating regions: 512 slots free in 64-slot extents.
+	for i := 0; i < 16; i += 2 {
+		s.ReleaseRegion(regions[i])
+	}
+	if s.LargestExtent() != 64 {
+		t.Fatalf("largest = %d", s.LargestExtent())
+	}
+	runs, err := s.Alloc(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range runs {
+		total += r.N
+	}
+	if total != 300 {
+		t.Fatalf("allocated %d", total)
+	}
+	if len(runs) < 5 {
+		t.Fatalf("expected scattered extents, got %d", len(runs))
+	}
+	var rs []disk.Run
+	rs = append(rs, runs...)
+	s.Release(rs)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

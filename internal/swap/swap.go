@@ -1,0 +1,206 @@
+package swap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+)
+
+// ErrNoSpace is returned when the device cannot satisfy an allocation.
+var ErrNoSpace = errors.New("swap: out of space")
+
+// Space is an extent allocator over a fixed number of slots.
+type Space struct {
+	capacity int64
+	free     []disk.Run // sorted by Start, non-adjacent, non-overlapping
+	used     int64
+}
+
+// New returns a Space managing capacity slots, all initially free.
+func New(capacity int64) *Space {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("swap: capacity must be positive, got %d", capacity))
+	}
+	return &Space{
+		capacity: capacity,
+		free:     []disk.Run{{Start: 0, N: int(capacity)}},
+	}
+}
+
+// Capacity reports the total number of slots.
+func (s *Space) Capacity() int64 { return s.capacity }
+
+// Used reports the number of allocated slots.
+func (s *Space) Used() int64 { return s.used }
+
+// Free reports the number of unallocated slots.
+func (s *Space) Free() int64 { return s.capacity - s.used }
+
+// LargestExtent reports the size of the biggest contiguous free extent.
+func (s *Space) LargestExtent() int {
+	m := 0
+	for _, r := range s.free {
+		if r.N > m {
+			m = r.N
+		}
+	}
+	return m
+}
+
+// AllocContiguous allocates exactly n contiguous slots (first fit).
+func (s *Space) AllocContiguous(n int) (disk.Slot, error) {
+	if n <= 0 {
+		panic("swap: AllocContiguous with non-positive size")
+	}
+	for i, r := range s.free {
+		if r.N >= n {
+			start := r.Start
+			if r.N == n {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+			} else {
+				s.free[i] = disk.Run{Start: r.Start + disk.Slot(n), N: r.N - n}
+			}
+			s.used += int64(n)
+			return start, nil
+		}
+	}
+	return disk.InvalidSlot, ErrNoSpace
+}
+
+// Alloc allocates n slots as few extents as first-fit allows; it fails only
+// when fewer than n slots remain in total.
+func (s *Space) Alloc(n int) ([]disk.Run, error) {
+	if n <= 0 {
+		panic("swap: Alloc with non-positive size")
+	}
+	if int64(n) > s.Free() {
+		return nil, ErrNoSpace
+	}
+	var out []disk.Run
+	remaining := n
+	// Prefer a single extent when one is large enough.
+	if start, err := s.AllocContiguous(n); err == nil {
+		return []disk.Run{{Start: start, N: n}}, nil
+	}
+	// Otherwise gather extents front to back.
+	for remaining > 0 {
+		if len(s.free) == 0 {
+			// Should be impossible given the Free() check; restore and fail.
+			s.Release(out)
+			return nil, ErrNoSpace
+		}
+		r := s.free[0]
+		take := r.N
+		if take > remaining {
+			take = remaining
+		}
+		start := r.Start
+		if take == r.N {
+			s.free = s.free[1:]
+		} else {
+			s.free[0] = disk.Run{Start: r.Start + disk.Slot(take), N: r.N - take}
+		}
+		s.used += int64(take)
+		out = append(out, disk.Run{Start: start, N: take})
+		remaining -= take
+	}
+	return out, nil
+}
+
+// Release returns extents to the free list, coalescing neighbours.
+// Releasing a slot that is already free panics: that is a double free.
+func (s *Space) Release(runs []disk.Run) {
+	for _, r := range runs {
+		s.releaseOne(r)
+	}
+}
+
+func (s *Space) releaseOne(r disk.Run) {
+	if r.N <= 0 {
+		panic(fmt.Sprintf("swap: release of empty run %+v", r))
+	}
+	if r.Start < 0 || int64(r.End()) > s.capacity {
+		panic(fmt.Sprintf("swap: release of out-of-range run %+v", r))
+	}
+	// Find insertion point.
+	i := sort.Search(len(s.free), func(i int) bool { return s.free[i].Start >= r.Start })
+	// Overlap checks against neighbours.
+	if i > 0 && s.free[i-1].End() > r.Start {
+		panic(fmt.Sprintf("swap: double free of %+v (overlaps %+v)", r, s.free[i-1]))
+	}
+	if i < len(s.free) && r.End() > s.free[i].Start {
+		panic(fmt.Sprintf("swap: double free of %+v (overlaps %+v)", r, s.free[i]))
+	}
+	s.free = append(s.free, disk.Run{})
+	copy(s.free[i+1:], s.free[i:])
+	s.free[i] = r
+	s.used -= int64(r.N)
+	// Coalesce with right neighbour, then left.
+	if i+1 < len(s.free) && s.free[i].End() == s.free[i+1].Start {
+		s.free[i].N += s.free[i+1].N
+		s.free = append(s.free[:i+1], s.free[i+2:]...)
+	}
+	if i > 0 && s.free[i-1].End() == s.free[i].Start {
+		s.free[i-1].N += s.free[i].N
+		s.free = append(s.free[:i], s.free[i+1:]...)
+	}
+}
+
+// checkInvariants verifies the free list is sorted, in-range, non-adjacent
+// and consistent with the used counter. Exposed for tests via Validate.
+func (s *Space) Validate() error {
+	var total int64
+	for i, r := range s.free {
+		if r.N <= 0 {
+			return fmt.Errorf("swap: empty free extent %+v", r)
+		}
+		if r.Start < 0 || int64(r.End()) > s.capacity {
+			return fmt.Errorf("swap: out-of-range free extent %+v", r)
+		}
+		if i > 0 {
+			prev := s.free[i-1]
+			if prev.End() > r.Start {
+				return fmt.Errorf("swap: overlapping free extents %+v, %+v", prev, r)
+			}
+			if prev.End() == r.Start {
+				return fmt.Errorf("swap: uncoalesced free extents %+v, %+v", prev, r)
+			}
+		}
+		total += int64(r.N)
+	}
+	if total+s.used != s.capacity {
+		return fmt.Errorf("swap: accounting broken: free %d + used %d != capacity %d", total, s.used, s.capacity)
+	}
+	return nil
+}
+
+// Region is a per-process contiguous reservation: virtual page v lives at
+// slot Start+v.
+type Region struct {
+	Start disk.Slot
+	N     int
+}
+
+// SlotFor maps a virtual page number within the region to its device slot.
+func (r Region) SlotFor(vpage int) disk.Slot {
+	if vpage < 0 || vpage >= r.N {
+		panic(fmt.Sprintf("swap: vpage %d outside region of %d pages", vpage, r.N))
+	}
+	return r.Start + disk.Slot(vpage)
+}
+
+// Reserve allocates a contiguous region of n slots for a process.
+func (s *Space) Reserve(n int) (Region, error) {
+	start, err := s.AllocContiguous(n)
+	if err != nil {
+		return Region{}, fmt.Errorf("swap: reserving %d pages: %w", n, err)
+	}
+	return Region{Start: start, N: n}, nil
+}
+
+// ReleaseRegion returns a reservation to the free pool.
+func (s *Space) ReleaseRegion(r Region) {
+	s.Release([]disk.Run{{Start: r.Start, N: r.N}})
+}

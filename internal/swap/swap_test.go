@@ -1,0 +1,239 @@
+package swap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+)
+
+func TestAllocContiguousFirstFit(t *testing.T) {
+	s := New(100)
+	a, err := s.AllocContiguous(10)
+	if err != nil || a != 0 {
+		t.Fatalf("first alloc = %v, %v", a, err)
+	}
+	b, err := s.AllocContiguous(20)
+	if err != nil || b != 10 {
+		t.Fatalf("second alloc = %v, %v", b, err)
+	}
+	if s.Used() != 30 || s.Free() != 70 {
+		t.Fatalf("used=%d free=%d", s.Used(), s.Free())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocContiguousExhaustion(t *testing.T) {
+	s := New(10)
+	if _, err := s.AllocContiguous(11); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("oversized alloc err = %v", err)
+	}
+	if _, err := s.AllocContiguous(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocContiguous(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("alloc on full device err = %v", err)
+	}
+}
+
+func TestReleaseCoalesces(t *testing.T) {
+	s := New(30)
+	a, _ := s.AllocContiguous(10)
+	b, _ := s.AllocContiguous(10)
+	c, _ := s.AllocContiguous(10)
+	s.Release([]disk.Run{{Start: a, N: 10}})
+	s.Release([]disk.Run{{Start: c, N: 10}})
+	if s.LargestExtent() != 10 {
+		t.Fatalf("largest = %d, want 10 (fragmented)", s.LargestExtent())
+	}
+	s.Release([]disk.Run{{Start: b, N: 10}})
+	if s.LargestExtent() != 30 {
+		t.Fatalf("largest after middle free = %d, want 30", s.LargestExtent())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s := New(10)
+	a, _ := s.AllocContiguous(5)
+	s.Release([]disk.Run{{Start: a, N: 5}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	s.Release([]disk.Run{{Start: a, N: 5}})
+}
+
+func TestPartialOverlapFreePanics(t *testing.T) {
+	s := New(20)
+	_, _ = s.AllocContiguous(10) // 0..9 used, 10..19 free
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping free did not panic")
+		}
+	}()
+	s.Release([]disk.Run{{Start: 5, N: 10}}) // overlaps free 10..19
+}
+
+func TestAllocScatteredWhenFragmented(t *testing.T) {
+	s := New(30)
+	a, _ := s.AllocContiguous(10) // 0-9
+	_, _ = s.AllocContiguous(10)  // 10-19
+	c, _ := s.AllocContiguous(10) // 20-29
+	s.Release([]disk.Run{{Start: a, N: 10}})
+	s.Release([]disk.Run{{Start: c, N: 10}})
+	// 20 slots free in two 10-slot extents; a 15-slot alloc must span both.
+	runs, err := s.Alloc(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range runs {
+		total += r.N
+	}
+	if total != 15 || len(runs) != 2 {
+		t.Fatalf("scattered alloc = %v", runs)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(6); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("expected ErrNoSpace with 5 free, got %v", err)
+	}
+}
+
+func TestAllocPrefersSingleExtent(t *testing.T) {
+	s := New(100)
+	runs, err := s.Alloc(40)
+	if err != nil || len(runs) != 1 || runs[0].N != 40 {
+		t.Fatalf("Alloc = %v, %v", runs, err)
+	}
+}
+
+func TestRegionMapping(t *testing.T) {
+	s := New(1000)
+	r, err := s.Reserve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SlotFor(0) != r.Start || r.SlotFor(99) != r.Start+99 {
+		t.Fatalf("SlotFor wrong: %v", r)
+	}
+	// Contiguous vpages map to contiguous slots — the block-paging property.
+	for v := 1; v < 100; v++ {
+		if r.SlotFor(v) != r.SlotFor(v-1)+1 {
+			t.Fatal("region mapping not contiguous")
+		}
+	}
+	s.ReleaseRegion(r)
+	if s.Used() != 0 {
+		t.Fatalf("used after release = %d", s.Used())
+	}
+}
+
+func TestRegionOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	r, _ := s.Reserve(5)
+	for _, v := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SlotFor(%d) did not panic", v)
+				}
+			}()
+			r.SlotFor(v)
+		}()
+	}
+}
+
+func TestReserveFailureWraps(t *testing.T) {
+	s := New(10)
+	if _, err := s.Reserve(20); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Reserve err = %v", err)
+	}
+}
+
+func TestConstructorAndArgValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { New(-5) },
+		func() { New(10).AllocContiguous(0) },
+		func() { New(10).Alloc(-1) },
+		func() { New(10).Release([]disk.Run{{Start: 0, N: 0}}) },
+		func() { New(10).Release([]disk.Run{{Start: 8, N: 5}}) }, // past end
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: a random interleaving of allocs and frees never breaks the free
+// list invariants, never double-allocates a slot, and conserves capacity.
+func TestQuickAllocFreeInvariants(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint8
+		Which uint8
+	}
+	f := func(ops []op) bool {
+		s := New(256)
+		owned := map[disk.Slot][]disk.Run{} // key: first slot of allocation
+		var keys []disk.Slot
+		allocated := map[disk.Slot]bool{} // every allocated slot
+		for _, o := range ops {
+			if o.Alloc {
+				n := int(o.Size)%32 + 1
+				runs, err := s.Alloc(n)
+				if err != nil {
+					continue
+				}
+				for _, r := range runs {
+					for sl := r.Start; sl < r.End(); sl++ {
+						if allocated[sl] {
+							return false // double allocation
+						}
+						allocated[sl] = true
+					}
+				}
+				owned[runs[0].Start] = runs
+				keys = append(keys, runs[0].Start)
+			} else if len(keys) > 0 {
+				k := keys[int(o.Which)%len(keys)]
+				runs := owned[k]
+				if runs == nil {
+					continue
+				}
+				s.Release(runs)
+				for _, r := range runs {
+					for sl := r.Start; sl < r.End(); sl++ {
+						delete(allocated, sl)
+					}
+				}
+				delete(owned, k)
+			}
+			if err := s.Validate(); err != nil {
+				return false
+			}
+			if s.Used() != int64(len(allocated)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkSeriesAdd(b *testing.B) {
+	s := NewSeries("bench", sim.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(sim.Time(i%3600)*1_000_000, 4.0)
+	}
+}
+
+func BenchmarkAddSpread(b *testing.B) {
+	s := NewSeries("bench", sim.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddSpread(sim.Time(i%3600)*1_000_000, 3*sim.Second, 48.0)
+	}
+}
+
+func BenchmarkCSV(b *testing.B) {
+	r := NewRecorder(sim.Second)
+	in, out := r.Series("in"), r.Series("out")
+	for i := 0; i < 3000; i++ {
+		in.Add(sim.Time(i)*1_000_000, float64(i%97))
+		out.Add(sim.Time(i)*1_000_000, float64(i%53))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.CSV()
+	}
+}

@@ -1,0 +1,253 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// ResidentRun reports how many consecutive pages starting at vpage are
+// resident (capped at max). The process reference engine uses it to charge
+// whole runs of compute in one event.
+func (v *VM) ResidentRun(pid, vpage, max int) int {
+	as := v.mustProc(pid)
+	n := 0
+	for vpage+n < as.numPages && n < max && as.IsResident(vpage+n) {
+		n++
+	}
+	return n
+}
+
+// TouchResident marks [vpage, vpage+n) referenced (and dirty when write is
+// set), updating per-page ages and the working-set estimator. Every page in
+// the range must be resident.
+func (v *VM) TouchResident(pid, vpage, n int, write bool) {
+	as := v.mustProc(pid)
+	now := v.eng.Now()
+	for i := 0; i < n; i++ {
+		vp := vpage + i
+		fid := as.frames[vp]
+		if fid == mem.NoFrame || as.inFlight[vp] {
+			panic(fmt.Sprintf("vm: TouchResident(%d, %d): page not resident", pid, vp))
+		}
+		f := v.phys.Frame(fid)
+		f.Referenced = true
+		f.LastUse = now
+		if write {
+			if as.bgClean[vp] {
+				as.bgClean[vp] = false
+				v.stats.WastedBGWrite++
+			}
+			f.Dirty = true
+		}
+		if as.touchGen[vp] != as.curGen {
+			as.touchGen[vp] = as.curGen
+			as.touched++
+		}
+	}
+}
+
+// Fault handles a reference to vpage that the caller found non-resident (a
+// resident page is a no-op minor fault). resume is invoked — possibly after
+// queueing and disk time — once the page is resident. write only affects
+// accounting; the caller marks dirtiness by re-touching after resume.
+func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
+	as := v.mustProc(pid)
+	if vpage < 0 || vpage >= as.numPages {
+		panic(fmt.Sprintf("vm: fault at vpage %d outside footprint %d of pid %d", vpage, as.numPages, pid))
+	}
+	start := v.eng.Now()
+	finish := func() {
+		stall := v.eng.Now().Sub(start)
+		v.stats.FaultStall += stall
+		as.stats.FaultStall += stall
+		resume()
+	}
+
+	// Already resident: minor fault (racing touch), just pay the trap cost.
+	if as.IsResident(vpage) {
+		v.stats.MinorFaults++
+		as.stats.MinorFaults++
+		v.eng.Schedule(v.cfg.FaultOverhead, finish)
+		return
+	}
+	// Read already in flight (e.g. adaptive page-in prefetch): wait for it.
+	if as.inFlight[vpage] {
+		v.stats.MinorFaults++
+		as.stats.MinorFaults++
+		as.waiters[vpage] = append(as.waiters[vpage], finish)
+		return
+	}
+	// Demand-zero page: no disk involved. If not a single frame can be
+	// freed right now (memory pinned by in-flight reads), retry shortly.
+	if !as.onDisk[vpage] {
+		v.stats.MinorFaults++
+		v.stats.ZeroFills++
+		as.stats.MinorFaults++
+		as.stats.ZeroFills++
+		var attempt func()
+		attempt = func() {
+			v.ensureFree(1)
+			fid, ok := v.phys.Alloc(pid, int32(vpage), v.eng.Now())
+			if !ok {
+				v.eng.Schedule(reclaimRetryDelay, attempt)
+				return
+			}
+			v.phys.Frame(fid).Age = uint8(v.cfg.AgeStart)
+			as.frames[vpage] = fid
+			as.resident++
+			v.eng.Schedule(v.cfg.FaultOverhead+v.cfg.ZeroFillCost, finish)
+		}
+		attempt()
+		return
+	}
+
+	// Major fault: read the page plus a read-ahead group of contiguous
+	// swap-backed neighbours, as the Linux 2.2 swap-in path does.
+	v.stats.MajorFaults++
+	as.stats.MajorFaults++
+	group := []int{vpage}
+	for next := vpage + 1; next < as.numPages && len(group) < v.cfg.ReadAhead; next++ {
+		if as.IsResident(next) || as.inFlight[next] || !as.onDisk[next] {
+			break
+		}
+		group = append(group, next)
+	}
+	as.waiters[vpage] = append(as.waiters[vpage], finish)
+	v.readIn(as, group, disk.Demand, nil)
+}
+
+// ReadPagesIn brings the listed pages of pid into memory with batched,
+// coalesced disk reads (the adaptive page-in primitive). Pages that are
+// resident, already in flight, or demand-zero are skipped. onDone, if
+// non-nil, fires once every transfer issued by this call has completed;
+// it fires immediately if nothing needed reading.
+func (v *VM) ReadPagesIn(pid int, vpages []int, prio disk.Priority, onDone func()) {
+	as := v.mustProc(pid)
+	var group []int
+	for _, vp := range vpages {
+		if vp < 0 || vp >= as.numPages {
+			panic(fmt.Sprintf("vm: ReadPagesIn vpage %d outside footprint of pid %d", vp, pid))
+		}
+		if as.IsResident(vp) || as.inFlight[vp] || !as.onDisk[vp] {
+			continue
+		}
+		group = append(group, vp)
+	}
+	if len(group) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	sort.Ints(group)
+	v.readIn(as, group, prio, onDone)
+}
+
+// reclaimRetryDelay is how long a page-in waits when not a single frame can
+// be freed (typically because every frame is pinned by in-flight reads) —
+// the analogue of sleeping on kswapd.
+const reclaimRetryDelay = 500 * sim.Microsecond
+
+// readIn allocates frames for the group (reclaiming first if needed),
+// splits it into bounded disk transactions and marks pages resident as each
+// transaction completes. When memory is momentarily unfreeable the read is
+// retried; pages that become resident through other transfers in the
+// meantime are dropped from the group (their waiters fire with those
+// transfers).
+func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone func()) {
+	// Re-filter: on a retry some pages may have landed via other requests.
+	filtered := make([]int, 0, len(group))
+	for _, vp := range group {
+		if !as.IsResident(vp) && !as.inFlight[vp] && as.onDisk[vp] {
+			filtered = append(filtered, vp)
+		}
+	}
+	group = filtered
+	if len(group) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	avail := v.ensureFree(len(group))
+	if avail < len(group) {
+		if avail < 1 {
+			v.eng.Schedule(reclaimRetryDelay, func() { v.readIn(as, group, prio, onDone) })
+			return
+		}
+		group = group[:avail]
+	}
+	now := v.eng.Now()
+	slots := make([]disk.Slot, len(group))
+	for i, vp := range group {
+		fid, ok := v.phys.Alloc(as.pid, int32(vp), now)
+		if !ok {
+			// ensureFree guaranteed avail frames; trim to what we got.
+			group = group[:i]
+			slots = slots[:i]
+			break
+		}
+		v.phys.Frame(fid).Age = uint8(v.cfg.AgeStart)
+		as.frames[vp] = fid
+		as.inFlight[vp] = true
+		slots[i] = as.region.SlotFor(vp)
+	}
+	if len(group) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
+
+	// Issue one request per run-chunk; completion marks that chunk's pages.
+	type chunk struct {
+		runs  []disk.Run
+		pages []int
+	}
+	var chunks []chunk
+	idx := 0
+	for _, r := range runs {
+		chunks = append(chunks, chunk{runs: []disk.Run{r}, pages: group[idx : idx+r.N]})
+		idx += r.N
+	}
+	remaining := len(chunks)
+	for _, c := range chunks {
+		c := c
+		v.dsk.Submit(&disk.Request{
+			Runs: c.runs,
+			Prio: prio,
+			Done: func(sim.Duration) {
+				v.completeRead(as, c.pages)
+				remaining--
+				if remaining == 0 && onDone != nil {
+					onDone()
+				}
+			},
+		})
+	}
+}
+
+func (v *VM) completeRead(as *AddressSpace, pages []int) {
+	n := 0
+	for _, vp := range pages {
+		if !as.inFlight[vp] {
+			continue // process destroyed or page stolen mid-flight
+		}
+		as.inFlight[vp] = false
+		as.resident++
+		n++
+		if ws := as.waiters[vp]; len(ws) > 0 {
+			delete(as.waiters, vp)
+			for _, w := range ws {
+				w()
+			}
+		}
+	}
+	v.stats.PagesIn += int64(n)
+	as.stats.PagesIn += int64(n)
+}

@@ -1,0 +1,439 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// victim names one evictable page.
+type victim struct {
+	as    *AddressSpace
+	vpage int
+}
+
+// ensureFree makes room for an allocation of n frames, running a reclaim
+// pass when free memory would drop below freepages.min — the
+// try_to_free_pages trigger. It reports how many frames are actually free
+// afterwards (possibly fewer than n when nothing more is evictable).
+func (v *VM) ensureFree(n int) int {
+	if v.phys.NumFree()-n >= v.phys.FreeMin() {
+		return n
+	}
+	target := v.phys.FreeHigh() + n - v.phys.NumFree()
+	if target > 0 {
+		v.reclaim(target)
+	}
+	if free := v.phys.NumFree(); free < n {
+		return free
+	}
+	return n
+}
+
+// Reclaim frees up to target frames using the active victim policy,
+// batching dirty write-back into coalesced disk requests. It returns the
+// number of frames freed. This is the try_to_free_pages analogue; the
+// selective page-out algorithm of Figure 2 is obtained by setting
+// PolicySelective plus SetOutgoing.
+func (v *VM) Reclaim(target int) int { return v.reclaim(target) }
+
+func (v *VM) reclaim(target int) int {
+	if target <= 0 {
+		return 0
+	}
+	v.stats.ReclaimPasses++
+	pass := newReclaimPass()
+	var victims []victim
+	switch v.policy {
+	case PolicySelective:
+		victims = v.selectSelective(target, pass)
+	default:
+		victims = v.selectDefault(target, pass)
+	}
+	if v.cfg.ClusterOut > 1 {
+		victims = v.expandClusters(victims, pass)
+	}
+	v.evict(victims, disk.Demand)
+	return len(victims)
+}
+
+// expandClusters grows each victim into a contiguous block of cold pages
+// of the same process (blind block page-out). Pages that are referenced,
+// aged, in flight or already selected stay resident.
+func (v *VM) expandClusters(victims []victim, pass *reclaimPass) []victim {
+	out := victims
+	for _, vi := range victims {
+		as := vi.as
+		added := 0
+		for _, dir := range [2]int{1, -1} {
+			for off := dir; added < v.cfg.ClusterOut-1; off += dir {
+				vp := vi.vpage + off
+				if vp < 0 || vp >= as.numPages {
+					break
+				}
+				fid := as.frames[vp]
+				if fid == mem.NoFrame || as.inFlight[vp] || pass.has(as.pid, vp) {
+					break
+				}
+				f := v.phys.Frame(fid)
+				if f.Referenced || f.Age > 0 {
+					break
+				}
+				pass.add(as.pid, vp)
+				out = append(out, victim{as, vp})
+				added++
+			}
+		}
+	}
+	return out
+}
+
+// reclaimPass tracks pages already chosen during one reclaim pass so that
+// successive sweeps (selective + fallback, or repeated clock sweeps of the
+// same process) never select a page twice before eviction happens.
+type reclaimPass struct {
+	taken map[int]map[int]bool // pid -> vpage set
+}
+
+func newReclaimPass() *reclaimPass { return &reclaimPass{taken: map[int]map[int]bool{}} }
+
+func (rp *reclaimPass) has(pid, vp int) bool { return rp.taken[pid][vp] }
+
+func (rp *reclaimPass) add(pid, vp int) {
+	set := rp.taken[pid]
+	if set == nil {
+		set = map[int]bool{}
+		rp.taken[pid] = set
+	}
+	set[vp] = true
+}
+
+// takenFrom reports how many pages of pid this pass has already selected.
+func (rp *reclaimPass) takenFrom(pid int) int { return len(rp.taken[pid]) }
+
+// selectDefault implements the Linux 2.2 swap_out heuristic: scanning
+// effort rotates across processes via per-process swap counters. Each scan
+// cycle initialises every process's counter to its resident size; the
+// process with the largest remaining counter is swept next, and its counter
+// drops by the pages scanned. Scanning burden is therefore proportional to
+// resident size, so a stopped process's decayed pages are steadily found
+// (and drained) even while a larger, actively-referenced process would
+// otherwise monopolise the sweep. Fresh pages of the faulting process still
+// get selected once their age drains — the paper's false eviction.
+func (v *VM) selectDefault(target int, pass *reclaimPass) []victim {
+	var out []victim
+	cycles := 0
+	for len(out) < target && cycles < 3 {
+		pid := v.maxSwapCnt()
+		if pid == 0 {
+			// Cycle exhausted: restart it (bounded per pass so reclaim
+			// cannot decay the whole system's ages in one call).
+			cycles++
+			v.resetSwapCnt()
+			continue
+		}
+		as := v.procs[pid]
+		scanned, _ := v.clockSweep(as, v.swapCnt[pid], target-len(out), &out, pass)
+		if scanned == 0 {
+			v.swapCnt[pid] = 0
+			continue
+		}
+		v.swapCnt[pid] -= scanned
+		if v.swapCnt[pid] < 0 {
+			v.swapCnt[pid] = 0
+		}
+	}
+	return out
+}
+
+// maxSwapCnt returns the live process with the largest remaining scan
+// counter (deterministic tie-break on pid), or 0 when the cycle is spent.
+func (v *VM) maxSwapCnt() int {
+	best, bestN := 0, 0
+	for pid, n := range v.swapCnt {
+		if v.procs[pid] == nil || v.procs[pid].resident == 0 {
+			continue
+		}
+		if n > bestN || (n == bestN && n > 0 && pid < best) {
+			best, bestN = pid, n
+		}
+	}
+	if bestN == 0 {
+		return 0
+	}
+	return best
+}
+
+func (v *VM) resetSwapCnt() {
+	for pid := range v.swapCnt {
+		delete(v.swapCnt, pid)
+	}
+	for pid, as := range v.procs {
+		if as.resident > 0 {
+			v.swapCnt[pid] = as.resident
+		}
+	}
+}
+
+// clockSweep advances pid's clock hand over its address space for at most
+// one revolution, selecting up to max unreferenced pages and clearing
+// reference bits as it goes. One revolution per call matters: a process
+// that re-touches its pages between reclaim passes keeps them protected
+// (second-chance), while a stopped process's bits decay and its pages
+// become victims — the dynamics behind the paper's false-eviction
+// observation.
+func (v *VM) clockSweep(as *AddressSpace, scanMax, max int, out *[]victim, pass *reclaimPass) (scanned, got int) {
+	if as.resident-pass.takenFrom(as.pid) <= 0 || max <= 0 || scanMax <= 0 {
+		return 0, 0
+	}
+	hand := v.hands[as.pid]
+	for step := 0; step < as.numPages && got < max && scanned < scanMax; step++ {
+		vp := hand
+		hand++
+		if hand >= as.numPages {
+			hand = 0
+		}
+		fid := as.frames[vp]
+		if fid == mem.NoFrame || as.inFlight[vp] || pass.has(as.pid, vp) {
+			continue
+		}
+		scanned++
+		f := v.phys.Frame(fid)
+		if f.Referenced {
+			// Referenced since the last revolution: rejuvenate.
+			f.Referenced = false
+			age := int(f.Age) + v.cfg.AgeAdvance
+			if age > v.cfg.AgeMax {
+				age = v.cfg.AgeMax
+			}
+			f.Age = uint8(age)
+			continue
+		}
+		if f.Age > 0 {
+			// Cold but not yet old enough: decay towards evictable.
+			f.Age--
+			continue
+		}
+		*out = append(*out, victim{as, vp})
+		pass.add(as.pid, vp)
+		got++
+	}
+	v.hands[as.pid] = hand
+	return scanned, got
+}
+
+// selectSelective implements the paper's selective page-out (Figure 2):
+// victims come from the outgoing process in order of decreasing age; other
+// processes are considered only when the outgoing process has no resident
+// pages left.
+func (v *VM) selectSelective(target int, pass *reclaimPass) []victim {
+	var out []victim
+	if v.outgoing != 0 {
+		if as := v.procs[v.outgoing]; as != nil {
+			out = v.oldestOf(as, target, pass)
+		}
+	}
+	if len(out) < target {
+		out = append(out, v.selectDefault(target-len(out), pass)...)
+	}
+	return out
+}
+
+// oldestOf returns up to max of as's resident pages, oldest first, skipping
+// pages the current pass has already selected and marking the ones it takes.
+func (v *VM) oldestOf(as *AddressSpace, max int, pass *reclaimPass) []victim {
+	if as.resident == 0 || max <= 0 {
+		return nil
+	}
+	type aged struct {
+		vp   int
+		last sim.Time
+	}
+	cand := make([]aged, 0, as.resident)
+	for vp, fid := range as.frames {
+		if fid == mem.NoFrame || as.inFlight[vp] || pass.has(as.pid, vp) {
+			continue
+		}
+		cand = append(cand, aged{vp, v.phys.Frame(fid).LastUse})
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].last != cand[j].last {
+			return cand[i].last < cand[j].last
+		}
+		return cand[i].vp < cand[j].vp
+	})
+	if len(cand) > max {
+		cand = cand[:max]
+	}
+	out := make([]victim, len(cand))
+	for i, c := range cand {
+		out[i] = victim{as, c.vp}
+		pass.add(as.pid, c.vp)
+	}
+	return out
+}
+
+// evict releases the victims' frames, records them with the page-out hook,
+// and queues one coalesced write-back per owning process for the dirty
+// ones. Clean pages whose swap copy is valid are dropped for free.
+func (v *VM) evict(victims []victim, prio disk.Priority) {
+	dirtySlots := map[*AddressSpace][]disk.Slot{}
+	for _, vi := range victims {
+		as, vp := vi.as, vi.vpage
+		fid := as.frames[vp]
+		if fid == mem.NoFrame || as.inFlight[vp] {
+			panic(fmt.Sprintf("vm: evicting non-resident page %d of pid %d", vp, as.pid))
+		}
+		f := v.phys.Frame(fid)
+		if f.Dirty {
+			dirtySlots[as] = append(dirtySlots[as], as.region.SlotFor(vp))
+			as.onDisk[vp] = true
+		}
+		as.bgClean[vp] = false
+		as.frames[vp] = mem.NoFrame
+		as.resident--
+		v.phys.Release(fid)
+		if v.OnPageOut != nil {
+			v.OnPageOut(as.pid, vp)
+		}
+	}
+	for as, slots := range dirtySlots {
+		n := int64(len(slots))
+		v.stats.PagesOut += n
+		as.stats.PagesOut += n
+		runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
+		for _, r := range runs {
+			v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
+		}
+	}
+}
+
+// ReclaimFrom evicts up to max resident pages of pid, oldest first,
+// regardless of the active policy. This is the aggressive page-out
+// building block (Figure 3): the gang scheduler calls it at a job switch to
+// instantly make room for the incoming working set.
+func (v *VM) ReclaimFrom(pid, max int) int {
+	as := v.mustProc(pid)
+	victims := v.oldestOf(as, max, newReclaimPass())
+	v.evict(victims, disk.Demand)
+	return len(victims)
+}
+
+// DirtyPages reports how many of pid's resident pages are dirty.
+func (v *VM) DirtyPages(pid int) int {
+	as := v.mustProc(pid)
+	n := 0
+	for vp, fid := range as.frames {
+		if fid == mem.NoFrame || as.inFlight[vp] {
+			continue
+		}
+		if v.phys.Frame(fid).Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteBackDirty writes up to max dirty resident pages of pid to their swap
+// slots without evicting them, marking them clean. The background-writing
+// daemon (§3.4) calls this with disk.Background priority; it returns the
+// number of pages queued for writing.
+//
+// Pages are taken youngest-first (most recently written): behind an
+// iterating application's sweep cursor those are the pages that have
+// received their final store of the quantum, so cleaning them is least
+// likely to be wasted by re-dirtying — the §3.4 concern about "writing of
+// same pages repeatedly".
+func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
+	as := v.mustProc(pid)
+	if max <= 0 {
+		return 0
+	}
+	// Select the `max` youngest dirty pages with a bounded min-heap keyed
+	// on LastUse (root = oldest of the kept set, displaced by younger
+	// pages). O(dirty·log max) per pass — the daemon runs every ~100 ms,
+	// so a full sort of the dirty set would dominate the simulation.
+	type aged struct {
+		vp   int
+		last sim.Time
+	}
+	heap := make([]aged, 0, max)
+	less := func(a, b aged) bool { // min-heap by (last, -vp)
+		if a.last != b.last {
+			return a.last < b.last
+		}
+		return a.vp > b.vp
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for vp, fid := range as.frames {
+		if fid == mem.NoFrame || as.inFlight[vp] {
+			continue
+		}
+		f := v.phys.Frame(fid)
+		if !f.Dirty {
+			continue
+		}
+		entry := aged{vp, f.LastUse}
+		if len(heap) < max {
+			heap = append(heap, entry)
+			siftUp(len(heap) - 1)
+		} else if less(heap[0], entry) {
+			heap[0] = entry
+			siftDown()
+		}
+	}
+	slots := make([]disk.Slot, 0, len(heap))
+	for _, d := range heap {
+		vp := d.vp
+		f := v.phys.Frame(as.frames[vp])
+		f.Dirty = false
+		as.onDisk[vp] = true
+		as.bgClean[vp] = true
+		slots = append(slots, as.region.SlotFor(vp))
+	}
+	if len(slots) == 0 {
+		return 0
+	}
+	n := int64(len(slots))
+	if prio == disk.Background {
+		v.stats.BGPagesOut += n
+	} else {
+		v.stats.PagesOut += n
+		as.stats.PagesOut += n
+	}
+	runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
+	for _, r := range runs {
+		v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
+	}
+	return int(n)
+}

@@ -1,0 +1,376 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/swap"
+)
+
+// Config tunes the paging machinery. Zero-valued fields take defaults from
+// DefaultConfig.
+type Config struct {
+	// ReadAhead is the page-group size read on a fault. Linux 2.2 used 16
+	// pages (64 KiB), the value the paper's §3.3 discusses.
+	ReadAhead int
+	// MaxIOPages caps the pages moved in a single disk transaction.
+	MaxIOPages int
+	// ZeroFillCost is the CPU cost of materialising a demand-zero page.
+	ZeroFillCost sim.Duration
+	// FaultOverhead is the fixed CPU cost of entering the fault handler.
+	FaultOverhead sim.Duration
+	// AgeStart / AgeAdvance / AgeMax parameterise Linux 2.2-style page
+	// aging: a newly resident page starts at AgeStart; each clock sweep
+	// adds AgeAdvance to referenced pages (capped at AgeMax) and subtracts
+	// one from unreferenced pages; only age-0 pages are evictable by the
+	// default policy. Aging is what gives a faulting process's fresh pages
+	// a grace period while a stopped process's pages decay into victims.
+	AgeStart   int
+	AgeAdvance int
+	AgeMax     int
+	// ClusterOut enables blind block page-out (VM/HPO-style, the classic
+	// technique the paper's related work contrasts with): every victim the
+	// default policy picks is expanded with up to ClusterOut-1 contiguous
+	// cold neighbours so write-backs move in blocks. Unlike the paper's
+	// gang-aware mechanisms it has no idea which process is outgoing.
+	ClusterOut int
+}
+
+// DefaultConfig mirrors Linux 2.2 defaults on the paper's hardware.
+func DefaultConfig() Config {
+	return Config{
+		ReadAhead:     16,
+		MaxIOPages:    1024,
+		ZeroFillCost:  2 * sim.Microsecond,
+		FaultOverhead: 5 * sim.Microsecond,
+		AgeStart:      2,
+		AgeAdvance:    4,
+		AgeMax:        8,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.ReadAhead <= 0 {
+		c.ReadAhead = d.ReadAhead
+	}
+	if c.MaxIOPages <= 0 {
+		c.MaxIOPages = d.MaxIOPages
+	}
+	if c.ZeroFillCost <= 0 {
+		c.ZeroFillCost = d.ZeroFillCost
+	}
+	if c.FaultOverhead <= 0 {
+		c.FaultOverhead = d.FaultOverhead
+	}
+	if c.AgeStart <= 0 {
+		c.AgeStart = d.AgeStart
+	}
+	if c.AgeAdvance <= 0 {
+		c.AgeAdvance = d.AgeAdvance
+	}
+	if c.AgeMax <= 0 {
+		c.AgeMax = d.AgeMax
+	}
+}
+
+// Policy selects the victim-selection algorithm used by reclaim.
+type Policy int
+
+const (
+	// PolicyDefault is the Linux 2.2 behaviour: sweep the process with the
+	// largest resident set, honouring clock reference bits.
+	PolicyDefault Policy = iota
+	// PolicySelective takes victims from the designated outgoing process,
+	// oldest first, falling back to PolicyDefault only when the outgoing
+	// process has no resident pages left (paper §3.1, Figure 2).
+	PolicySelective
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyDefault:
+		return "default"
+	case PolicySelective:
+		return "selective"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Stats aggregates VM activity for one node.
+type Stats struct {
+	MajorFaults   int64 // faults that performed disk I/O
+	MinorFaults   int64 // faults satisfied without I/O (incl. in-flight hits)
+	ZeroFills     int64 // demand-zero pages materialised
+	PagesIn       int64 // pages read from swap
+	PagesOut      int64 // pages written to swap by reclaim / switch page-out
+	BGPagesOut    int64 // pages written by the background writer
+	WastedBGWrite int64 // bg-written pages dirtied again before eviction
+	ReclaimPasses int64
+	FaultStall    sim.Duration // total time processes spent blocked in faults
+}
+
+// ProcStats aggregates per-process paging activity.
+type ProcStats struct {
+	MajorFaults int64
+	MinorFaults int64
+	PagesIn     int64
+	PagesOut    int64
+	ZeroFills   int64
+	FaultStall  sim.Duration
+}
+
+// AddressSpace is one process's paged memory image.
+type AddressSpace struct {
+	pid      int
+	numPages int
+	frames   []mem.FrameID // frame per vpage, NoFrame when not resident
+	onDisk   []bool        // swap slot holds a valid copy
+	bgClean  []bool        // cleaned by bg writer since last dirtying (waste detection)
+	inFlight []bool        // read from swap in progress
+	region   swap.Region
+	resident int
+
+	// Working-set estimation: distinct pages touched this quantum.
+	touchGen   []uint32
+	curGen     uint32
+	touched    int
+	prevWS     int // distinct pages touched during the previous quantum
+	everRanQtm bool
+
+	waiters map[int][]func() // fault waiters per in-flight vpage
+
+	stats ProcStats
+}
+
+// PID reports the process id.
+func (as *AddressSpace) PID() int { return as.pid }
+
+// NumPages reports the footprint in pages.
+func (as *AddressSpace) NumPages() int { return as.numPages }
+
+// Resident reports how many pages are currently in memory.
+func (as *AddressSpace) Resident() int { return as.resident }
+
+// Stats returns a copy of the per-process counters.
+func (as *AddressSpace) Stats() ProcStats { return as.stats }
+
+// IsResident reports whether vpage has a frame.
+func (as *AddressSpace) IsResident(vpage int) bool {
+	return as.frames[vpage] != mem.NoFrame && !as.inFlight[vpage]
+}
+
+// OnDisk reports whether the swap copy of vpage is valid.
+func (as *AddressSpace) OnDisk(vpage int) bool { return as.onDisk[vpage] }
+
+// VM is one node's paging subsystem.
+type VM struct {
+	eng   *sim.Engine
+	phys  *mem.Physical
+	dsk   *disk.Disk
+	space *swap.Space
+	cfg   Config
+
+	procs map[int]*AddressSpace
+
+	policy   Policy
+	outgoing int // pid whose pages selective reclaim targets; 0 = none
+
+	// clock hands for the default policy's per-process sweeps
+	hands map[int]int
+	// swapCnt holds the per-process scan counters of the current swap_out
+	// cycle (Linux 2.2 rotates scan effort across processes with these).
+	swapCnt map[int]int
+
+	// OnPageOut, when non-nil, observes every page evicted from memory.
+	// The adaptive page-in recorder (package core) subscribes here.
+	OnPageOut func(pid, vpage int)
+
+	stats Stats
+}
+
+// New assembles a VM over the given physical memory, disk and swap space.
+func New(eng *sim.Engine, phys *mem.Physical, d *disk.Disk, space *swap.Space, cfg Config) *VM {
+	cfg.fillDefaults()
+	return &VM{
+		eng:     eng,
+		phys:    phys,
+		dsk:     d,
+		space:   space,
+		cfg:     cfg,
+		procs:   make(map[int]*AddressSpace),
+		hands:   make(map[int]int),
+		swapCnt: make(map[int]int),
+	}
+}
+
+// Config returns the effective configuration.
+func (v *VM) Config() Config { return v.cfg }
+
+// Phys exposes the physical memory (read-mostly; used by policies/tests).
+func (v *VM) Phys() *mem.Physical { return v.phys }
+
+// Disk exposes the paging device.
+func (v *VM) Disk() *disk.Disk { return v.dsk }
+
+// Stats returns a copy of the node-wide counters.
+func (v *VM) Stats() Stats { return v.stats }
+
+// SetVictimPolicy selects the reclaim policy.
+func (v *VM) SetVictimPolicy(p Policy) { v.policy = p }
+
+// VictimPolicy reports the active policy.
+func (v *VM) VictimPolicy() Policy { return v.policy }
+
+// SetOutgoing designates the process whose pages PolicySelective targets.
+// Pass 0 to clear.
+func (v *VM) SetOutgoing(pid int) {
+	if pid != 0 {
+		if _, ok := v.procs[pid]; !ok {
+			panic(fmt.Sprintf("vm: SetOutgoing(%d): no such process", pid))
+		}
+	}
+	v.outgoing = pid
+}
+
+// Outgoing reports the currently designated outgoing process (0 if none).
+func (v *VM) Outgoing() int { return v.outgoing }
+
+// NewProcess creates an address space of numPages, reserving a contiguous
+// swap region so the image can always be paged out.
+func (v *VM) NewProcess(pid, numPages int) (*AddressSpace, error) {
+	if pid <= 0 {
+		panic(fmt.Sprintf("vm: pid must be positive, got %d", pid))
+	}
+	if numPages <= 0 {
+		panic(fmt.Sprintf("vm: numPages must be positive, got %d", numPages))
+	}
+	if _, ok := v.procs[pid]; ok {
+		return nil, fmt.Errorf("vm: pid %d already exists", pid)
+	}
+	region, err := v.space.Reserve(numPages)
+	if err != nil {
+		return nil, fmt.Errorf("vm: creating pid %d: %w", pid, err)
+	}
+	as := &AddressSpace{
+		pid:      pid,
+		numPages: numPages,
+		frames:   make([]mem.FrameID, numPages),
+		onDisk:   make([]bool, numPages),
+		bgClean:  make([]bool, numPages),
+		inFlight: make([]bool, numPages),
+		region:   region,
+		touchGen: make([]uint32, numPages),
+		curGen:   1,
+		waiters:  make(map[int][]func()),
+	}
+	for i := range as.frames {
+		as.frames[i] = mem.NoFrame
+	}
+	v.procs[pid] = as
+	return as, nil
+}
+
+// Process returns the address space for pid, or nil.
+func (v *VM) Process(pid int) *AddressSpace { return v.procs[pid] }
+
+// Processes returns the live pids (unspecified order length only — use for
+// iteration via Process).
+func (v *VM) NumProcesses() int { return len(v.procs) }
+
+// DestroyProcess releases all frames and the swap region of pid. Pending
+// fault waiters are dropped; in-flight disk transfers complete harmlessly.
+func (v *VM) DestroyProcess(pid int) {
+	as := v.mustProc(pid)
+	for vp, fid := range as.frames {
+		if fid != mem.NoFrame {
+			v.phys.Release(fid)
+			as.frames[vp] = mem.NoFrame
+		}
+	}
+	as.resident = 0
+	as.waiters = nil
+	for vp := range as.inFlight {
+		as.inFlight[vp] = false
+	}
+	v.space.ReleaseRegion(as.region)
+	delete(v.procs, pid)
+	delete(v.hands, pid)
+	delete(v.swapCnt, pid)
+	if v.outgoing == pid {
+		v.outgoing = 0
+	}
+}
+
+func (v *VM) mustProc(pid int) *AddressSpace {
+	as := v.procs[pid]
+	if as == nil {
+		panic(fmt.Sprintf("vm: no process %d", pid))
+	}
+	return as
+}
+
+// BeginQuantum rolls the working-set estimator for pid: the count of
+// distinct pages touched in the ending quantum becomes the estimate used by
+// aggressive page-out (paper §3.2: "the kernel obtains the working set size
+// using the page references during the incoming process' previous time
+// quanta").
+func (v *VM) BeginQuantum(pid int) {
+	as := v.mustProc(pid)
+	if as.everRanQtm {
+		as.prevWS = as.touched
+	}
+	as.everRanQtm = true
+	as.touched = 0
+	as.curGen++
+}
+
+// WSEstimate reports the kernel's working-set estimate for pid in pages.
+// Before the process has completed a quantum it falls back to the smaller
+// of the footprint and what physical memory could hold above the high
+// watermark.
+func (v *VM) WSEstimate(pid int) int {
+	as := v.mustProc(pid)
+	if as.prevWS > 0 {
+		return as.prevWS
+	}
+	avail := v.phys.NumFrames() - v.phys.LockedFrames() - v.phys.FreeHigh()
+	if avail < 0 {
+		avail = 0
+	}
+	if as.numPages < avail {
+		return as.numPages
+	}
+	return avail
+}
+
+// Validate cross-checks VM bookkeeping against the frame table; test hook.
+func (v *VM) Validate() error {
+	if err := v.phys.Validate(); err != nil {
+		return err
+	}
+	for pid, as := range v.procs {
+		res := 0
+		for vp, fid := range as.frames {
+			if fid == mem.NoFrame {
+				continue
+			}
+			res++
+			f := v.phys.Frame(fid)
+			if f.PID != pid || int(f.VPage) != vp {
+				return fmt.Errorf("vm: frame %d labelled (%d,%d), PTE says (%d,%d)",
+					fid, f.PID, f.VPage, pid, vp)
+			}
+		}
+		if res != as.resident {
+			return fmt.Errorf("vm: pid %d resident counter %d, PTEs say %d", pid, as.resident, res)
+		}
+		if v.phys.Resident(pid) != res {
+			return fmt.Errorf("vm: pid %d phys resident %d, PTEs say %d", pid, v.phys.Resident(pid), res)
+		}
+	}
+	return nil
+}

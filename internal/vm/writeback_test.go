@@ -1,0 +1,70 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+func TestWriteBackPrefersYoungestDirty(t *testing.T) {
+	r := newRig(t, 256, 0, 0, Config{})
+	r.vm.NewProcess(1, 30)
+	r.touchAll(t, 1, 30, true) // all dirty at t0
+	// Advance time and re-touch pages 20-29, making them the youngest.
+	r.eng.Schedule(sim.Second, func() {})
+	r.eng.Run()
+	r.vm.TouchResident(1, 20, 10, true)
+
+	if n := r.vm.WriteBackDirty(1, 10, disk.Background); n != 10 {
+		t.Fatalf("wrote %d, want 10", n)
+	}
+	r.eng.Run()
+	// The youngest (20-29) must be the cleaned ones.
+	for vp := 20; vp < 30; vp++ {
+		if r.vm.DirtyPages(1) == 0 {
+			break
+		}
+	}
+	as := r.vm.Process(1)
+	for vp := 0; vp < 20; vp++ {
+		fid := as.frames[vp]
+		if !r.vm.Phys().Frame(fid).Dirty {
+			t.Fatalf("old page %d cleaned before younger pages", vp)
+		}
+	}
+	for vp := 20; vp < 30; vp++ {
+		fid := as.frames[vp]
+		if r.vm.Phys().Frame(fid).Dirty {
+			t.Fatalf("young page %d not cleaned", vp)
+		}
+	}
+}
+
+func TestWriteBackCapRespected(t *testing.T) {
+	r := newRig(t, 256, 0, 0, Config{})
+	r.vm.NewProcess(1, 100)
+	r.touchAll(t, 1, 100, true)
+	if n := r.vm.WriteBackDirty(1, 7, disk.Background); n != 7 {
+		t.Fatalf("wrote %d, want 7", n)
+	}
+	if d := r.vm.DirtyPages(1); d != 93 {
+		t.Fatalf("dirty = %d", d)
+	}
+	if n := r.vm.WriteBackDirty(1, 0, disk.Background); n != 0 {
+		t.Fatalf("zero cap wrote %d", n)
+	}
+}
+
+func TestWriteBackAllWhenFewerThanCap(t *testing.T) {
+	r := newRig(t, 256, 0, 0, Config{})
+	r.vm.NewProcess(1, 10)
+	r.touchAll(t, 1, 10, true)
+	if n := r.vm.WriteBackDirty(1, 1000, disk.Demand); n != 10 {
+		t.Fatalf("wrote %d, want all 10", n)
+	}
+	// Demand-priority write-back counts as regular page-out traffic.
+	if r.vm.Stats().PagesOut != 10 || r.vm.Stats().BGPagesOut != 0 {
+		t.Fatalf("accounting: %+v", r.vm.Stats())
+	}
+}

@@ -1,0 +1,24 @@
+// Package workload models the NAS NPB2 benchmark programs the paper
+// evaluates — LU, SP, CG, IS and MG — as synthetic memory reference
+// patterns for the proc engine.
+//
+// Real binaries and their FLOPs are irrelevant to paging behaviour; what
+// matters, and what these models encode, is each program's
+//
+//   - memory footprint per rank (taken from published NPB2 class A/B/C
+//     sizes, matching the 188-400 MB range the paper reports for class B),
+//   - working-set structure: LU/SP/MG sweep large arrays sequentially each
+//     iteration; CG re-reads a large, never-written sparse matrix plus a
+//     small written vector set; IS scatters over its key array with poor
+//     locality (modelled as a deterministic shuffle of small chunks),
+//   - dirty fraction: how much of the footprint each iteration writes,
+//   - compute-to-memory ratio (TouchCost) and iteration count, calibrated
+//     so relative runtimes and paging pressure land in the paper's regime,
+//   - parallel decomposition: per-rank footprint shrinks with the node
+//     count and ranks barrier every iteration with an exchange payload.
+//
+// Each model carries the memory size the experiment wires down to
+// over-commit it (the paper's per-app mlock settings: "different input
+// data sizes and memory locking sizes were used to emulate tight and
+// overcommitted memory").
+package workload

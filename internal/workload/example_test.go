@@ -1,0 +1,23 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Models are looked up by (program, class, ranks); each carries the
+// footprint and the memory size the paper's experiments leave available.
+func ExampleGet() {
+	m, err := workload.Get(workload.LU, workload.ClassB, 1)
+	if err != nil {
+		panic(err)
+	}
+	beh := m.Behavior()
+	fmt.Printf("LU class B: %d MB footprint, %d MB available\n", m.FootprintMB, m.AvailMB)
+	fmt.Printf("working set: %d pages, parallel: %v\n",
+		beh.WorkingSetPages(), beh.SyncEveryIter)
+	// Output:
+	// LU class B: 190 MB footprint, 238 MB available
+	// working set: 48640 pages, parallel: false
+}
