@@ -1,0 +1,31 @@
+# Developer entry points. `make ci` is what the full gate runs:
+# vet + build + race tests, then the observability overhead pair.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-obs ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The obs pair: RunObsDisabled is the zero-overhead claim (parity with the
+# pre-observability baseline), RunObsEnabled prices full capture. Compare
+# with benchstat across changes.
+bench-obs:
+	$(GO) test -run NONE -bench 'BenchmarkRunObs' -benchmem -count 5 .
+
+ci: vet build race bench-obs
+
+clean:
+	$(GO) clean ./...

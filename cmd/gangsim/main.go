@@ -5,32 +5,46 @@
 // Usage:
 //
 //	gangsim -app LU -class B -ranks 1 -policy so/ao/ai/bg [-batch] \
-//	        [-quantum 5m] [-seed 1] [-compare]
+//	        [-quantum 5m] [-seed 1] [-compare] [-json] \
+//	        [-events run.jsonl] [-metrics run.prom]
 //
 // With -compare, it also runs the batch baseline and the original policy
 // and reports switching overhead and paging reduction.
+//
+// Observability: -events streams every structured simulation event to a
+// JSONL file (replayable with pagetrace -replay), -metrics writes the final
+// metric values in the Prometheus text exposition format, and -json emits
+// the run result (or the comparison, under -compare) as JSON on stdout
+// instead of the human-readable report. -cpuprofile / -memprofile capture
+// pprof profiles of the simulator itself.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	gangsched "repro"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/expt"
-	"repro/internal/gang"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plot"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gangsim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	app := flag.String("app", "LU", "benchmark: LU, SP, CG, IS or MG")
 	class := flag.String("class", "B", "NPB data class (A, B or C)")
 	ranks := flag.Int("ranks", 1, "machines / ranks per job")
@@ -42,70 +56,194 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print a coarse page-in activity chart for node 0")
 	configPath := flag.String("config", "", "run a custom experiment from a JSON spec file instead of -app/-class/-ranks")
 	ganttPath := flag.String("gantt", "", "write the gang schedule timeline as an SVG to this file")
+	jsonOut := flag.Bool("json", false, "emit the result (or comparison) as JSON on stdout")
+	eventsPath := flag.String("events", "", "write the structured event stream as JSONL to this file")
+	metricsPath := flag.String("metrics", "", "write final metrics in Prometheus text format to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var spec gangsched.Spec
+	header := ""
 	if *configPath != "" {
-		runConfig(*configPath)
-		return
-	}
-
-	m, err := workload.Get(workload.App(*app), workload.Class(*class), *ranks)
-	if err != nil {
-		log.Fatal(err)
-	}
-	features, err := core.ParseFeatures(*policy)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := expt.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Quantum = sim.DurationOf(*quantum)
-
-	mode := gang.Gang
-	if *batch {
-		mode = gang.Batch
+		var err error
+		if spec, err = gangsched.LoadSpec(*configPath); err != nil {
+			return err
+		}
+		header = fmt.Sprintf("custom experiment %s", *configPath)
+	} else {
+		m, err := workload.Get(workload.App(*app), workload.Class(*class), *ranks)
+		if err != nil {
+			return err
+		}
+		spec = specForPair(m, *policy, *batch, *quantum, *seed)
+		header = fmt.Sprintf("%s class %s on %d machine(s)", m.App, m.Class, m.Ranks)
 	}
 	if *showTrace {
-		cfg.TraceBin = sim.Second
+		spec.RecordTraces = true
 	}
-	res, rec, err := cfg.RunPairTraced(m, features, mode)
+
+	// Observability plumbing: a JSONL sink for -events, a registry for
+	// -metrics. The policy run carries it; -compare baselines run bare.
+	var jsonl *obs.JSONLSink
+	if *eventsPath != "" || *metricsPath != "" {
+		o := &obs.Options{Metrics: *metricsPath != ""}
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				return err
+			}
+			jsonl = obs.NewJSONL(f)
+			o.Sinks = []obs.Sink{jsonl}
+		}
+		spec.Observe = o
+	}
+
+	h, err := gangsched.RunDetailed(spec)
+	if jsonl != nil {
+		if cerr := jsonl.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("writing %s: %w", *eventsPath, cerr)
+		}
+	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	printRun(m, res)
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, h.Metrics); err != nil {
+			return err
+		}
+	}
+
+	var cmp *gangsched.Comparison
+	if *compare && !spec.Batch {
+		if cmp, err = compareAgainst(spec, h.Result); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		if err := emitJSON(h.Result, cmp); err != nil {
+			return err
+		}
+	} else {
+		printRun(header, h.Result)
+		if cmp != nil {
+			printComparison(h.Result.Policy, *cmp)
+		}
+	}
 	if *ganttPath != "" {
-		if err := writeGantt(*ganttPath, res); err != nil {
-			log.Fatal(err)
+		if err := writeGantt(*ganttPath, h.Result); err != nil {
+			return err
 		}
 		log.Printf("schedule timeline written to %s", *ganttPath)
 	}
-	if *showTrace && rec != nil {
-		fmt.Println(rec.Series("pagein_kb").ASCII(30, 60))
-		fmt.Println(rec.Series("pageout_kb").ASCII(30, 60))
+	if *showTrace && len(h.Traces) > 0 && h.Traces[0] != nil && !*jsonOut {
+		fmt.Println(h.Traces[0].Series("pagein_kb").ASCII(30, 60))
+		fmt.Println(h.Traces[0].Series("pageout_kb").ASCII(30, 60))
 	}
 
-	if !*compare || *batch {
-		return
-	}
-	batchRes, err := cfg.RunPair(m, core.Orig, gang.Batch)
-	if err != nil {
-		log.Fatal(err)
-	}
-	origRes := res
-	if features.Any() {
-		if origRes, err = cfg.RunPair(m, core.Orig, gang.Gang); err != nil {
-			log.Fatal(err)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
 		}
 	}
-	fmt.Printf("\nbatch    %8.0fs\n", batchRes.Makespan.Seconds())
-	fmt.Printf("orig     %8.0fs  overhead %s\n", origRes.Makespan.Seconds(),
-		metrics.Pct(metrics.SwitchingOverhead(origRes.Makespan, batchRes.Makespan)))
-	if features.Any() {
-		fmt.Printf("%-8s %8.0fs  overhead %s  reduction %s\n", features,
-			res.Makespan.Seconds(),
-			metrics.Pct(metrics.SwitchingOverhead(res.Makespan, batchRes.Makespan)),
-			metrics.Pct(metrics.PagingReduction(origRes.Makespan, res.Makespan, batchRes.Makespan)))
+	return nil
+}
+
+// specForPair mirrors the paper's experimental setup (internal/expt): two
+// instances of the model time-share a cluster of m.Ranks nodes with 1 GB
+// each, memory locked down to the model's available size, working-set hints
+// passed through the kernel API. SP on four machines gets a 7-minute
+// quantum when the configured one is the default 5 (§4.2).
+func specForPair(m workload.Model, policy string, batch bool, quantum time.Duration, seed int64) gangsched.Spec {
+	q := quantum
+	if m.App == workload.SP && m.Ranks == 4 && q == 5*time.Minute {
+		q = 7 * time.Minute
 	}
+	beh := m.Behavior()
+	return gangsched.Spec{
+		Seed:     seed,
+		Nodes:    m.Ranks,
+		MemoryMB: 1024,
+		LockedMB: 1024 - m.AvailMB,
+		Policy:   policy,
+		Batch:    batch,
+		Quantum:  q,
+		Jobs: []gangsched.JobSpec{
+			{Name: fmt.Sprintf("%s-1", m.App), Workload: beh, HintWorkingSet: true},
+			{Name: fmt.Sprintf("%s-2", m.App), Workload: beh, HintWorkingSet: true},
+		},
+	}
+}
+
+// compareAgainst runs the batch and original-policy baselines (bare, no
+// observability) and assembles the paper's comparison metrics around the
+// already-completed policy run.
+func compareAgainst(spec gangsched.Spec, policyRes gangsched.Result) (*gangsched.Comparison, error) {
+	b := spec
+	b.Batch = true
+	b.Policy = "orig"
+	b.Observe = nil
+	batchRes, err := gangsched.Run(b)
+	if err != nil {
+		return nil, fmt.Errorf("batch baseline: %w", err)
+	}
+	origRes := policyRes
+	if policyRes.Policy != "orig" {
+		o := spec
+		o.Policy = "orig"
+		o.Observe = nil
+		if origRes, err = gangsched.Run(o); err != nil {
+			return nil, fmt.Errorf("original policy: %w", err)
+		}
+	}
+	c := &gangsched.Comparison{Batch: batchRes, Orig: origRes, Policy: policyRes}
+	c.SwitchingOverheadOrig = metrics.SwitchingOverhead(origRes.Makespan, batchRes.Makespan)
+	c.SwitchingOverheadPolicy = metrics.SwitchingOverhead(policyRes.Makespan, batchRes.Makespan)
+	c.PagingReduction = metrics.PagingReduction(origRes.Makespan, policyRes.Makespan, batchRes.Makespan)
+	return c, nil
+}
+
+// emitJSON writes the machine-readable result to stdout: the comparison
+// when one was computed, the bare run result otherwise.
+func emitJSON(res gangsched.Result, cmp *gangsched.Comparison) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if cmp != nil {
+		return enc.Encode(cmp)
+	}
+	return enc.Encode(res)
+}
+
+// writeMetrics renders the registry to path in Prometheus text format.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // writeGantt renders the run's schedule timeline as an SVG file.
@@ -125,27 +263,8 @@ func writeGantt(path string, res metrics.RunResult) error {
 	return os.WriteFile(path, []byte(svg), 0o644)
 }
 
-// runConfig executes a JSON experiment spec through the public API.
-func runConfig(path string) {
-	spec, err := gangsched.LoadSpec(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := gangsched.Run(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("custom experiment %s, policy %s (%s)\n", path, res.Policy, res.Mode)
-	for _, j := range res.Jobs {
-		fmt.Printf("  %-12s finished at %8.0fs\n", j.Name, j.FinishedAt.Seconds())
-	}
-	fmt.Printf("  makespan %.0fs, %d switches, %d pages moved\n",
-		res.Makespan.Seconds(), res.Switches, res.TotalPagesMoved())
-}
-
-func printRun(m workload.Model, res metrics.RunResult) {
-	fmt.Printf("%s class %s on %d machine(s), policy %s (%s)\n",
-		m.App, m.Class, m.Ranks, res.Policy, res.Mode)
+func printRun(header string, res metrics.RunResult) {
+	fmt.Printf("%s, policy %s (%s)\n", header, res.Policy, res.Mode)
 	for _, j := range res.Jobs {
 		fmt.Printf("  %-8s finished at %8.0fs\n", j.Name, j.FinishedAt.Seconds())
 	}
@@ -154,5 +273,17 @@ func printRun(m workload.Model, res metrics.RunResult) {
 		fmt.Printf("  node %d: in %dp out %dp bg %dp majflt %d stall %.0fs diskbusy %.0fs seeks %d\n",
 			i, n.PagesIn, n.PagesOut, n.BGPagesOut, n.MajorFaults,
 			n.FaultStall.Seconds(), n.DiskBusy.Seconds(), n.DiskSeeks)
+	}
+}
+
+func printComparison(policy string, c gangsched.Comparison) {
+	fmt.Printf("\nbatch    %8.0fs\n", c.Batch.Makespan.Seconds())
+	fmt.Printf("orig     %8.0fs  overhead %s\n", c.Orig.Makespan.Seconds(),
+		metrics.Pct(c.SwitchingOverheadOrig))
+	if policy != "orig" {
+		fmt.Printf("%-8s %8.0fs  overhead %s  reduction %s\n", policy,
+			c.Policy.Makespan.Seconds(),
+			metrics.Pct(c.SwitchingOverheadPolicy),
+			metrics.Pct(c.PagingReduction))
 	}
 }

@@ -7,12 +7,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("npbmodels: ")
 	verbose := flag.Bool("v", false, "also print the segment structure")
 	flag.Parse()
 

@@ -7,18 +7,28 @@
 //
 //	pagetrace [-policy orig|so|so/ao|so/ao/ai/bg] [-window 50m]
 //	          [-node 0] [-format csv|ascii] [-seed 1]
+//
+// With -replay, it instead rebuilds the paging-activity trace from a
+// structured event stream previously captured with gangsim -events,
+// without re-running any simulation:
+//
+//	pagetrace -replay run.jsonl [-node 0] [-bin 1s] [-format csv|ascii]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expt"
+	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -29,7 +39,16 @@ func main() {
 	node := flag.Int("node", 0, "which machine's trace to print (0-3)")
 	format := flag.String("format", "csv", "output format: csv or ascii")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	replay := flag.String("replay", "", "rebuild the trace from a gangsim -events JSONL file instead of simulating")
+	bin := flag.Duration("bin", time.Second, "bin width for -replay")
 	flag.Parse()
+
+	if *replay != "" {
+		if err := replayEvents(*replay, *node, sim.DurationOf(*bin), *format); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want, err := core.ParseFeatures(*policy)
 	if err != nil {
@@ -64,4 +83,48 @@ func main() {
 		return
 	}
 	log.Fatalf("policy %q is not one of Figure 6's traces (orig, so, so/ao, so/ao/ai/bg)", *policy)
+}
+
+// replayEvents rebuilds a node's paging-activity series from a captured
+// event stream: every DiskTransfer event's pages are spread over its
+// service interval, exactly as the live disk tracer does.
+func replayEvents(path string, node int, bin sim.Duration, format string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(bin)
+	rec.Series(cluster.SeriesPageInKB)
+	rec.Series(cluster.SeriesPageOutKB)
+	n := 0
+	for _, ev := range events {
+		if ev.Kind != obs.KindDiskTransfer || ev.Node != node {
+			continue
+		}
+		name := cluster.SeriesPageInKB
+		if ev.Write {
+			name = cluster.SeriesPageOutKB
+		}
+		rec.Series(name).AddSpread(ev.T, ev.Dur, mem.KBFromPages(ev.Pages))
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("no DiskTransfer events for node %d in %s (%d events total)", node, path, len(events))
+	}
+	switch format {
+	case "csv":
+		fmt.Print(rec.CSV(cluster.SeriesPageInKB, cluster.SeriesPageOutKB))
+	case "ascii":
+		fmt.Println(rec.Series(cluster.SeriesPageInKB).ASCII(30, 60))
+		fmt.Println(rec.Series(cluster.SeriesPageOutKB).ASCII(30, 60))
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	fmt.Printf("# replayed %d transfers for node %d from %s\n", n, node, path)
+	return nil
 }

@@ -15,6 +15,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clustertrace: ")
 	lu, availMB := gangsched.NPB(gangsched.LU, gangsched.ClassC, 4)
 	for _, policy := range []string{"orig", "so/ao/ai/bg"} {
 		spec := gangsched.Spec{

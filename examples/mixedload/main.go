@@ -14,6 +14,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mixedload: ")
 	long := gangsched.Behavior{
 		FootprintPages: 190 * 256, // 190 MB
 		Iterations:     250,

@@ -12,6 +12,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("policysweep: ")
 	lu, availMB := gangsched.NPB(gangsched.LU, gangsched.ClassB, 1)
 	base := gangsched.Spec{
 		Nodes:    1,

@@ -11,6 +11,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
 	// The calibrated NPB2 LU class B model: ~190 MB footprint; the paper's
 	// setup leaves 238 MB of the 1 GB machine unlocked so two instances
 	// over-commit memory.

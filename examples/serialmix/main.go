@@ -13,6 +13,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serialmix: ")
 	apps := []struct{ name string }{
 		{"LU"}, {"SP"}, {"CG"}, {"IS"}, {"MG"},
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gang"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -120,6 +121,12 @@ type Spec struct {
 	TimeLimit time.Duration
 	// RecordTraces enables 1-second paging-activity recorders per node.
 	RecordTraces bool
+
+	// Observe enables the observability layer for the run: structured
+	// events (via sinks or an in-memory buffer) and/or a live metrics
+	// registry, surfaced on RunHandle. Nil disables the layer entirely —
+	// the zero-overhead default.
+	Observe *obs.Options
 }
 
 // RunHandle gives access to the built cluster after Run for callers that
@@ -128,6 +135,12 @@ type RunHandle struct {
 	Result Result
 	// Traces holds one recorder per node when Spec.RecordTraces was set.
 	Traces []*trace.Recorder
+	// Events holds the buffered event stream when Spec.Observe asked for
+	// KeepEvents (at most EventCap most-recent events).
+	Events []obs.Event
+	// Metrics is the run's metrics registry when Spec.Observe asked for
+	// Metrics; render it with WriteProm or walk it with Snapshot.
+	Metrics *obs.Registry
 }
 
 // Run executes the experiment to completion and returns its result.
@@ -163,6 +176,8 @@ func RunDetailed(spec Spec) (*RunHandle, error) {
 	if err != nil {
 		return nil, err
 	}
+	setup := spec.Observe.Build()
+	cl.EnableObservability(setup)
 	defQuantum := 5 * time.Minute
 	if spec.Quantum > 0 {
 		defQuantum = spec.Quantum
@@ -203,6 +218,10 @@ func RunDetailed(spec Spec) (*RunHandle, error) {
 			h.Traces = append(h.Traces, n.Rec)
 		}
 	}
+	if setup != nil {
+		h.Events = setup.Events()
+		h.Metrics = setup.Reg
+	}
 	return h, nil
 }
 
@@ -225,6 +244,7 @@ func Compare(spec Spec) (Comparison, error) {
 	b := spec
 	b.Batch = true
 	b.Policy = "orig"
+	b.Observe = nil // observability applies to the policy run only
 	var err error
 	if c.Batch, err = Run(b); err != nil {
 		return c, fmt.Errorf("gangsched: batch baseline: %w", err)
@@ -232,6 +252,7 @@ func Compare(spec Spec) (Comparison, error) {
 	o := spec
 	o.Batch = false
 	o.Policy = "orig"
+	o.Observe = nil
 	if c.Orig, err = Run(o); err != nil {
 		return c, fmt.Errorf("gangsched: original policy: %w", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gang"
 	"repro/internal/mem"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 	"repro/internal/swap"
@@ -90,6 +91,7 @@ type Node struct {
 	VM     *vm.VM
 	Kernel *core.Kernel
 	Rec    *trace.Recorder // nil unless TraceBin was set
+	Obs    *obs.NodeObs    // nil unless EnableObservability was called
 }
 
 // diskTracer adapts disk transfers into the node's paging-activity series.
@@ -113,6 +115,7 @@ type Cluster struct {
 	jobs    []*gang.Job
 	nextPID int
 	sched   *gang.Scheduler
+	obs     *obs.Setup
 }
 
 // New builds a cluster of nNodes identical machines running the given
@@ -152,6 +155,38 @@ func New(seed int64, nNodes int, ncfg NodeConfig, features core.Features, kcfg c
 	return c, nil
 }
 
+// EnableObservability attaches the built observability plumbing to every
+// node's VM, disk and kernel, installs the engine step hook that keeps the
+// sim-time gauge and event-throughput counter live, and arranges for job
+// barriers and the scheduler to be instrumented as they are created. Call
+// between New and the first AddJob; a nil or empty setup is a no-op.
+func (c *Cluster) EnableObservability(setup *obs.Setup) {
+	if setup == nil || (setup.Bus == nil && setup.Reg == nil) {
+		return
+	}
+	if c.sched != nil {
+		panic("cluster: EnableObservability after BuildScheduler")
+	}
+	c.obs = setup
+	for _, n := range c.Nodes {
+		n.Obs = obs.NewNodeObs(setup.Reg, setup.Bus, n.ID)
+		n.VM.SetObs(n.Obs)
+		n.Disk.SetObs(n.Obs)
+		n.Kernel.SetObs(n.Obs)
+	}
+	if setup.Reg != nil {
+		simTime := setup.Reg.Gauge(obs.MetricSimTime, "Current simulated time.", nil)
+		events := setup.Reg.Counter(obs.MetricEngineEvents, "Simulation engine events fired.", nil)
+		c.Eng.SetStepHook(func(now sim.Time) {
+			simTime.Set(now.Seconds())
+			events.Inc()
+		})
+	}
+}
+
+// Obs returns the observability setup (nil when disabled).
+func (c *Cluster) Obs() *obs.Setup { return c.obs }
+
 // JobSpec places one job across every node of the cluster.
 type JobSpec struct {
 	Name     string
@@ -182,6 +217,9 @@ func (c *Cluster) AddJob(spec JobSpec) (*gang.Job, error) {
 	if spec.Behavior.SyncEveryIter {
 		barrier = mpi.NewBarrier(c.Net, len(c.Nodes))
 		job.Barrier = barrier
+		if c.obs != nil {
+			barrier.Observe(c.obs.Bus, spec.Name, c.obs.JobBarrierCounter(spec.Name))
+		}
 	}
 	for _, n := range c.Nodes {
 		if _, err := n.VM.NewProcess(pid, spec.Behavior.FootprintPages); err != nil {
@@ -203,6 +241,9 @@ func (c *Cluster) Jobs() []*gang.Job { return c.jobs }
 func (c *Cluster) BuildScheduler(opts gang.Options) *gang.Scheduler {
 	if c.sched != nil {
 		panic("cluster: BuildScheduler called twice")
+	}
+	if c.obs != nil && opts.Obs == nil {
+		opts.Obs = obs.NewSchedObs(c.obs.Reg, c.obs.Bus)
 	}
 	c.sched = gang.NewScheduler(c.Eng, c.jobs, opts, nil)
 	return c.sched

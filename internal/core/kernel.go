@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
@@ -59,6 +60,10 @@ type Kernel struct {
 	bgPID   int // process being background-written, 0 when inactive
 	bgTimer *sim.Event
 
+	// obs, when non-nil, receives PrefaultBatch / BGWriteTick events and
+	// the prefault / bg-write / switch-eviction counters.
+	obs *obs.NodeObs
+
 	stats Stats
 }
 
@@ -95,6 +100,9 @@ func (k *Kernel) Stats() Stats { return k.stats }
 
 // VM exposes the bound substrate.
 func (k *Kernel) VM() *vm.VM { return k.vm }
+
+// SetObs attaches the node's observability instruments (nil to detach).
+func (k *Kernel) SetObs(o *obs.NodeObs) { k.obs = o }
 
 func (k *Kernel) onPageOut(pid, vpage int) {
 	if !k.features.AdaptiveIn || !k.stopped[pid] {
@@ -161,6 +169,9 @@ func (k *Kernel) AdaptivePageOut(inPID, outPID, wsPages int) int {
 	}
 	evicted := k.vm.ReclaimFrom(outPID, need)
 	k.stats.SwitchEvictions += int64(evicted)
+	if k.obs != nil {
+		k.obs.SwitchEvictions.Add(float64(evicted))
+	}
 	return evicted
 }
 
@@ -187,6 +198,16 @@ func (k *Kernel) AdaptivePageIn(inPID, outPID, wsPages int, onDone func()) int {
 	rec.Reset()
 	k.stats.PrefetchedPages += int64(len(pages))
 	k.stats.PrefetchRequests++
+	if k.obs != nil {
+		k.obs.PrefaultPages.Add(float64(len(pages)))
+		k.obs.Bus.Emit(obs.Event{
+			T:     k.eng.Now(),
+			Kind:  obs.KindPrefaultBatch,
+			Node:  k.obs.Node,
+			PID:   inPID,
+			Pages: len(pages),
+		})
+	}
 	k.vm.ReadPagesIn(inPID, pages, disk.Demand, onDone)
 	return len(pages)
 }
@@ -231,6 +252,16 @@ func (k *Kernel) scheduleBGPass() {
 		if k.vm.Process(pid) != nil {
 			if n := k.vm.WriteBackDirty(pid, k.cfg.BGWriteBatch, disk.Background); n > 0 {
 				k.stats.BGWritePasses++
+				if k.obs != nil {
+					k.obs.BGWritePasses.Inc()
+					k.obs.Bus.Emit(obs.Event{
+						T:     k.eng.Now(),
+						Kind:  obs.KindBGWriteTick,
+						Node:  k.obs.Node,
+						PID:   pid,
+						Pages: n,
+					})
+				}
 			}
 		}
 		k.scheduleBGPass()

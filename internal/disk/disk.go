@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -152,6 +153,10 @@ type Disk struct {
 	qDemand   []*Request
 	qBg       []*Request
 	stats     Stats
+
+	// obs, when non-nil, receives a DiskTransfer event and busy-time /
+	// seek counter updates as each request completes service.
+	obs *obs.NodeObs
 }
 
 // New creates a disk with the given parameters. tracer may be nil.
@@ -167,6 +172,9 @@ func (d *Disk) Params() Params { return d.p }
 
 // Stats returns a copy of the accumulated statistics.
 func (d *Disk) Stats() Stats { return d.stats }
+
+// SetObs attaches the node's observability instruments (nil to detach).
+func (d *Disk) SetObs(o *obs.NodeObs) { d.obs = o }
 
 // QueueLen reports how many requests are waiting (not in service).
 func (d *Disk) QueueLen() int { return len(d.qDemand) + len(d.qBg) }
@@ -298,6 +306,19 @@ func (d *Disk) kick() {
 		}
 		if d.tracer != nil {
 			d.tracer.OnTransfer(start, svc, pages, r.Write, r.Prio)
+		}
+		if d.obs != nil {
+			d.obs.DiskBusySeconds.Add(svc.Seconds())
+			d.obs.DiskSeeks.Add(float64(seeks))
+			d.obs.Bus.Emit(obs.Event{
+				T:     start,
+				Kind:  obs.KindDiskTransfer,
+				Node:  d.obs.Node,
+				Pages: pages,
+				Dur:   svc,
+				Write: r.Write,
+				Prio:  r.Prio.String(),
+			})
 		}
 		if r.Done != nil {
 			r.Done(svc)

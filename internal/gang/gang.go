@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
@@ -95,6 +96,9 @@ type Options struct {
 	// running job finish instead. It avoids paging entirely at the cost of
 	// batch-like response times; jobs need WSHintPages set.
 	MemoryAware bool
+	// Obs, when non-nil, receives a JobSwitch event per coordinated switch
+	// plus the switch/quantum counters.
+	Obs *obs.SchedObs
 }
 
 // Stats summarises scheduler activity.
@@ -303,6 +307,20 @@ func (s *Scheduler) switchTo(next int) {
 		}
 	}
 	s.stats.QuantaServed++
+	if o := s.opts.Obs; o != nil {
+		o.Quanta.Inc()
+		if out != nil {
+			o.Switches.Inc()
+			o.Bus.Emit(obs.Event{
+				T:      s.eng.Now(),
+				Kind:   obs.KindJobSwitch,
+				Node:   obs.ClusterScope,
+				Job:    in.Name,
+				OutJob: out.Name,
+				Ranks:  len(in.Members),
+			})
+		}
+	}
 	s.cur = next
 
 	// Stop the outgoing job on every node first (coordinated SIGSTOPs),

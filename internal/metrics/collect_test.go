@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// TestCollectMatchesComponents verifies Collect is a faithful copy: every
+// NodeResult field equals the corresponding component statistic, node by
+// node, and the timeline and switch count come straight from the scheduler.
+func TestCollectMatchesComponents(t *testing.T) {
+	nc := cluster.DefaultNodeConfig()
+	nc.MemoryMB = 6
+	c, err := cluster.New(3, 2, nc, core.SOAOAIBG, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beh := proc.Behavior{
+		FootprintPages: 900,
+		Iterations:     40,
+		Segments:       []proc.Segment{{Pages: 900, Write: true, Passes: 1}},
+		TouchCost:      20 * sim.Microsecond,
+		SyncEveryIter:  true,
+		MsgBytes:       512,
+	}
+	c.AddJob(cluster.JobSpec{Name: "a", Behavior: beh, Quantum: 200 * sim.Millisecond, PassWSHint: true})
+	c.AddJob(cluster.JobSpec{Name: "b", Behavior: beh, Quantum: 200 * sim.Millisecond, PassWSHint: true})
+	c.BuildScheduler(gang.Options{})
+	if err := c.Run(2 * sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	r := Collect(c, "so/ao/ai/bg")
+	for i, n := range c.Nodes {
+		vs := n.VM.Stats()
+		ds := n.Disk.Stats()
+		want := NodeResult{
+			PagesIn:       vs.PagesIn,
+			PagesOut:      vs.PagesOut,
+			BGPagesOut:    vs.BGPagesOut,
+			MajorFaults:   vs.MajorFaults,
+			MinorFaults:   vs.MinorFaults,
+			FaultStall:    vs.FaultStall,
+			DiskBusy:      ds.BusyTime,
+			DiskSeeks:     ds.Seeks,
+			WastedBGWrite: vs.WastedBGWrite,
+		}
+		if r.Nodes[i] != want {
+			t.Errorf("node %d: collected %+v, components say %+v", i, r.Nodes[i], want)
+		}
+		if want.PagesIn == 0 {
+			t.Errorf("node %d saw no paging under over-commit", i)
+		}
+	}
+	if r.Switches != c.Scheduler().Stats().Switches {
+		t.Errorf("switches = %d, scheduler says %d", r.Switches, c.Scheduler().Stats().Switches)
+	}
+	if !reflect.DeepEqual(r.Timeline, c.Scheduler().Timeline()) {
+		t.Error("timeline not propagated from the scheduler")
+	}
+	if len(r.Timeline) == 0 {
+		t.Error("empty timeline after a gang run")
+	}
+	for i, j := range c.Jobs() {
+		if r.Jobs[i].BarrierWait != j.Barrier.WaitTime() {
+			t.Errorf("job %s barrier wait = %v, barrier says %v",
+				j.Name, r.Jobs[i].BarrierWait, j.Barrier.WaitTime())
+		}
+		if r.Jobs[i].BarrierWait <= 0 {
+			t.Errorf("job %s: synchronising job waited 0 in its barrier", j.Name)
+		}
+		if r.Jobs[i].FinishedAt != j.FinishedAt() {
+			t.Errorf("job %s finish = %v, job says %v", j.Name, r.Jobs[i].FinishedAt, j.FinishedAt())
+		}
+	}
+}
+
+// TestCollectWithoutScheduler covers the pre-BuildScheduler shape: no mode,
+// no switches, zeroed node stats, but still one NodeResult per node.
+func TestCollectWithoutScheduler(t *testing.T) {
+	c, err := cluster.New(1, 2, cluster.DefaultNodeConfig(), core.Orig, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Collect(c, "orig")
+	if r.Mode != "" || r.Switches != 0 || len(r.Timeline) != 0 {
+		t.Fatalf("scheduler fields set without a scheduler: %+v", r)
+	}
+	if len(r.Jobs) != 0 || len(r.Nodes) != 2 || r.Makespan != 0 {
+		t.Fatalf("shape: %+v", r)
+	}
+	if r.Nodes[0] != (NodeResult{}) {
+		t.Fatalf("idle node has stats: %+v", r.Nodes[0])
+	}
+}
+
+// TestMeanCompletionRounding pins the integer-division semantics: the mean
+// truncates toward zero in microseconds.
+func TestMeanCompletionRounding(t *testing.T) {
+	r := RunResult{Jobs: []JobResult{
+		{Name: "a", FinishedAt: 1},
+		{Name: "b", FinishedAt: 2},
+		{Name: "c", FinishedAt: 3},
+	}}
+	if got := r.MeanCompletion(); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+	r.Jobs = r.Jobs[:2] // (1+2)/2 truncates to 1µs
+	if got := r.MeanCompletion(); got != 1 {
+		t.Fatalf("truncated mean = %v", got)
+	}
+}
+
+// TestCompletionOfFirstMatch: duplicate names report the first entry.
+func TestCompletionOfFirstMatch(t *testing.T) {
+	r := RunResult{Jobs: []JobResult{
+		{Name: "dup", FinishedAt: sim.Time(10 * sim.Second)},
+		{Name: "dup", FinishedAt: sim.Time(20 * sim.Second)},
+	}}
+	if d, ok := r.CompletionOf("dup"); !ok || d != 10*sim.Second {
+		t.Fatalf("completion = %v, %v", d, ok)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,12 @@ type Barrier struct {
 	completions int64
 	waitTime    sim.Duration // total rank-time spent waiting at barriers
 	arriveTimes []sim.Time
+
+	// Observability (nil when disabled): each barrier opening emits one
+	// BarrierStall event and adds the generation's rank-time to obsWait.
+	obsBus  *obs.Bus
+	obsJob  string
+	obsWait *obs.Counter
 }
 
 // NewBarrier creates a barrier over nRanks ranks (nRanks >= 1).
@@ -72,6 +79,15 @@ func NewBarrier(net *Network, nRanks int) *Barrier {
 		panic(fmt.Sprintf("mpi: barrier needs at least 1 rank, got %d", nRanks))
 	}
 	return &Barrier{net: net, nRanks: nRanks}
+}
+
+// Observe attaches observability outputs for this barrier: bus receives a
+// BarrierStall event per opening (attributed to job), and waitCtr
+// accumulates blocked rank-time in seconds. Either may be nil.
+func (b *Barrier) Observe(bus *obs.Bus, job string, waitCtr *obs.Counter) {
+	b.obsBus = bus
+	b.obsJob = job
+	b.obsWait = waitCtr
 }
 
 // NumRanks reports the barrier width.
@@ -107,8 +123,23 @@ func (b *Barrier) Arrive(msgBytes int, release func()) {
 	// Everyone is here: charge the collective cost and open the barrier.
 	cost := b.cost(msgBytes)
 	now := b.net.eng.Now()
+	var genWait sim.Duration
 	for _, at := range b.arriveTimes {
-		b.waitTime += now.Sub(at) + cost
+		genWait += now.Sub(at) + cost
+	}
+	b.waitTime += genWait
+	if b.obsWait != nil {
+		b.obsWait.Add(genWait.Seconds())
+	}
+	if b.obsBus != nil {
+		b.obsBus.Emit(obs.Event{
+			T:     now,
+			Kind:  obs.KindBarrierStall,
+			Node:  obs.ClusterScope,
+			Job:   b.obsJob,
+			Ranks: b.nRanks,
+			Dur:   genWait,
+		})
 	}
 	waiters := b.release
 	b.release = nil

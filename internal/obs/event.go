@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind identifies the type of an Event.
+type Kind uint8
+
+const (
+	// KindJobSwitch is emitted by the gang scheduler when the cluster is
+	// handed from one job to another (Job = incoming, OutJob = outgoing).
+	KindJobSwitch Kind = iota + 1
+	// KindPageOutBatch is one coalesced dirty write-back batch queued by
+	// reclaim or switch-time page-out (PID = owner, Pages = batch size).
+	KindPageOutBatch
+	// KindPrefaultBatch is one adaptive page-in replay of a page record
+	// (PID = incoming process, Pages = pages scheduled for prefetch).
+	KindPrefaultBatch
+	// KindReclaimScan is one reclaim pass (Scanned = pages examined,
+	// Pages = frames freed).
+	KindReclaimScan
+	// KindBGWriteTick is one background-writer pass (PID = flushed process,
+	// Pages = dirty pages queued).
+	KindBGWriteTick
+	// KindBarrierStall is one barrier generation opening (Job = owner,
+	// Ranks = barrier width, Dur = total rank-time spent waiting).
+	KindBarrierStall
+	// KindDiskTransfer is one completed disk request (Pages, Dur = service
+	// time, Write, Prio).
+	KindDiskTransfer
+)
+
+var kindNames = map[Kind]string{
+	KindJobSwitch:     "JobSwitch",
+	KindPageOutBatch:  "PageOutBatch",
+	KindPrefaultBatch: "PrefaultBatch",
+	KindReclaimScan:   "ReclaimScan",
+	KindBGWriteTick:   "BGWriteTick",
+	KindBarrierStall:  "BarrierStall",
+	KindDiskTransfer:  "DiskTransfer",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON renders the kind as its symbolic name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	s, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("obs: marshalling unknown kind %d", int(k))
+	}
+	return []byte(`"` + s + `"`), nil
+}
+
+// UnmarshalJSON parses a symbolic kind name (used by event-log replay).
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("obs: kind is not a JSON string: %s", data)
+	}
+	name := string(data[1 : len(data)-1])
+	for kind, s := range kindNames {
+		if s == name {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", name)
+}
+
+// ClusterScope is the Node value of events not tied to one machine
+// (JobSwitch, BarrierStall).
+const ClusterScope = -1
+
+// Event is one structured observation. It is a flat union: which payload
+// fields are meaningful depends on Kind (see the Kind constants). The zero
+// value of unused fields is omitted from JSON, so logs stay compact and
+// byte-identical across runs with the same seed.
+type Event struct {
+	// Seq is the bus-assigned emission index, which breaks ties between
+	// events sharing a simulated timestamp.
+	Seq uint64 `json:"seq"`
+	// T is the simulated time of the observation in microseconds.
+	T sim.Time `json:"t"`
+	// Kind selects the payload schema.
+	Kind Kind `json:"kind"`
+	// Node is the machine the event happened on, or ClusterScope (-1).
+	Node int `json:"node"`
+
+	Job     string       `json:"job,omitempty"`
+	OutJob  string       `json:"outJob,omitempty"`
+	PID     int          `json:"pid,omitempty"`
+	OutPID  int          `json:"outPid,omitempty"`
+	Pages   int          `json:"pages,omitempty"`
+	Scanned int          `json:"scanned,omitempty"`
+	Ranks   int          `json:"ranks,omitempty"`
+	Dur     sim.Duration `json:"durUs,omitempty"`
+	Write   bool         `json:"write,omitempty"`
+	Prio    string       `json:"prio,omitempty"`
+}

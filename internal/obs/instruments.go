@@ -1,0 +1,174 @@
+package obs
+
+import "strconv"
+
+// Metric names. All durations are seconds, all sizes are 4 KiB pages.
+const (
+	MetricPagesIn         = "gangsim_pages_in_total"             // counter{node}
+	MetricPagesOut        = "gangsim_pages_out_total"            // counter{node}
+	MetricBGPagesOut      = "gangsim_bg_pages_out_total"         // counter{node}
+	MetricMajorFaults     = "gangsim_major_faults_total"         // counter{node}
+	MetricMinorFaults     = "gangsim_minor_faults_total"         // counter{node}
+	MetricReclaimPasses   = "gangsim_reclaim_passes_total"       // counter{node}
+	MetricPrefaultPages   = "gangsim_prefault_pages_total"       // counter{node}
+	MetricBGWritePasses   = "gangsim_bgwrite_passes_total"       // counter{node}
+	MetricSwitchEvictions = "gangsim_switch_evictions_total"     // counter{node}
+	MetricDiskBusySeconds = "gangsim_disk_busy_seconds_total"    // counter{node}
+	MetricDiskSeeks       = "gangsim_disk_seeks_total"           // counter{node}
+	MetricFaultStall      = "gangsim_fault_stall_seconds"        // histogram{node}
+	MetricPageOutBatch    = "gangsim_pageout_batch_pages"        // histogram{node}
+	MetricSwitches        = "gangsim_switches_total"             // counter
+	MetricQuanta          = "gangsim_quanta_total"               // counter
+	MetricBarrierWait     = "gangsim_barrier_wait_seconds_total" // counter{job}
+	MetricSimTime         = "gangsim_sim_time_seconds"           // gauge
+	MetricEngineEvents    = "gangsim_engine_events_total"        // counter
+)
+
+// FaultStallBuckets bounds the fault-stall latency histogram (seconds):
+// sub-millisecond trap costs up to multi-second switch storms.
+var FaultStallBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// PageOutBatchBuckets bounds the page-out batch-size histogram (pages):
+// single-page dribble up to whole-working-set block moves.
+var PageOutBatchBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+}
+
+// NodeObs bundles one node's instruments: the shared event bus plus the
+// node-labelled metric series. Any field may be nil (that aspect
+// disabled); Bus and all metric types are nil-safe, so instrumented code
+// only guards on the *NodeObs pointer itself.
+type NodeObs struct {
+	Bus  *Bus
+	Node int
+
+	PagesIn         *Counter
+	PagesOut        *Counter
+	BGPagesOut      *Counter
+	MajorFaults     *Counter
+	MinorFaults     *Counter
+	ReclaimPasses   *Counter
+	PrefaultPages   *Counter
+	BGWritePasses   *Counter
+	SwitchEvictions *Counter
+	DiskBusySeconds *Counter
+	DiskSeeks       *Counter
+
+	FaultStall   *Histogram
+	PageOutBatch *Histogram
+}
+
+// NewNodeObs builds the instrument set for one node. reg and bus may each
+// be nil to disable metrics or events respectively.
+func NewNodeObs(reg *Registry, bus *Bus, node int) *NodeObs {
+	l := Labels{"node": strconv.Itoa(node)}
+	return &NodeObs{
+		Bus:  bus,
+		Node: node,
+
+		PagesIn:         reg.Counter(MetricPagesIn, "Pages read from swap (demand + prefetch).", l),
+		PagesOut:        reg.Counter(MetricPagesOut, "Pages written to swap by reclaim and switch page-out.", l),
+		BGPagesOut:      reg.Counter(MetricBGPagesOut, "Pages written by the background writer.", l),
+		MajorFaults:     reg.Counter(MetricMajorFaults, "Faults that performed disk I/O.", l),
+		MinorFaults:     reg.Counter(MetricMinorFaults, "Faults satisfied without disk I/O.", l),
+		ReclaimPasses:   reg.Counter(MetricReclaimPasses, "try_to_free_pages-style reclaim passes.", l),
+		PrefaultPages:   reg.Counter(MetricPrefaultPages, "Pages scheduled by adaptive page-in replays.", l),
+		BGWritePasses:   reg.Counter(MetricBGWritePasses, "Background-writer passes that queued writes.", l),
+		SwitchEvictions: reg.Counter(MetricSwitchEvictions, "Pages evicted synchronously by aggressive page-out.", l),
+		DiskBusySeconds: reg.Counter(MetricDiskBusySeconds, "Paging-device service time.", l),
+		DiskSeeks:       reg.Counter(MetricDiskSeeks, "Disk runs that paid a seek plus rotation.", l),
+
+		FaultStall:   reg.Histogram(MetricFaultStall, "Per-fault process stall time in seconds.", l, FaultStallBuckets),
+		PageOutBatch: reg.Histogram(MetricPageOutBatch, "Dirty write-back batch size in pages.", l, PageOutBatchBuckets),
+	}
+}
+
+// SchedObs bundles the gang scheduler's cluster-scope instruments.
+type SchedObs struct {
+	Bus      *Bus
+	Switches *Counter
+	Quanta   *Counter
+}
+
+// NewSchedObs builds the scheduler instrument set; reg and bus may be nil.
+func NewSchedObs(reg *Registry, bus *Bus) *SchedObs {
+	return &SchedObs{
+		Bus:      bus,
+		Switches: reg.Counter(MetricSwitches, "Coordinated job switches performed.", nil),
+		Quanta:   reg.Counter(MetricQuanta, "Quanta (full or partial) served.", nil),
+	}
+}
+
+// DefaultEventCap is the ring capacity used when Options.KeepEvents is set
+// without an explicit EventCap.
+const DefaultEventCap = 1 << 16
+
+// Options selects what a run observes. The zero value observes nothing
+// (but still builds an inert Setup); a nil *Options disables the layer
+// entirely, which is the zero-overhead path.
+type Options struct {
+	// Sinks receive every event (e.g. a JSONLSink). The caller owns the
+	// sinks: the run does not flush or close them.
+	Sinks []Sink
+	// KeepEvents additionally buffers events in memory, surfaced as
+	// RunHandle.Events, keeping the most recent EventCap.
+	KeepEvents bool
+	// EventCap bounds the in-memory buffer (DefaultEventCap when 0).
+	EventCap int
+	// Metrics enables the metrics registry, surfaced as RunHandle.Metrics.
+	Metrics bool
+}
+
+// Setup is the built observability plumbing for one run.
+type Setup struct {
+	// Bus is nil when the options included no event destination.
+	Bus *Bus
+	// Reg is nil unless Options.Metrics was set.
+	Reg *Registry
+
+	ring *Ring
+}
+
+// Build assembles the bus, sinks and registry an Options describes.
+// A nil receiver yields a nil Setup.
+func (o *Options) Build() *Setup {
+	if o == nil {
+		return nil
+	}
+	s := &Setup{}
+	sinks := append([]Sink(nil), o.Sinks...)
+	if o.KeepEvents {
+		capacity := o.EventCap
+		if capacity <= 0 {
+			capacity = DefaultEventCap
+		}
+		s.ring = NewRing(capacity)
+		sinks = append(sinks, s.ring)
+	}
+	if len(sinks) > 0 {
+		s.Bus = NewBus(sinks...)
+	}
+	if o.Metrics {
+		s.Reg = NewRegistry()
+	}
+	return s
+}
+
+// Events returns the buffered events (nil unless KeepEvents was set).
+func (s *Setup) Events() []Event {
+	if s == nil || s.ring == nil {
+		return nil
+	}
+	return s.ring.Events()
+}
+
+// JobBarrierCounter registers the barrier-wait counter for one job.
+func (s *Setup) JobBarrierCounter(job string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Counter(MetricBarrierWait, "Cumulative rank-time spent blocked in the job's barrier.", Labels{"job": job})
+}

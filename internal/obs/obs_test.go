@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	ev := Event{
+		Seq:     42,
+		T:       sim.Time(1_500_000),
+		Kind:    KindJobSwitch,
+		Node:    ClusterScope,
+		Job:     "LU-2",
+		OutJob:  "LU-1",
+		PID:     3,
+		OutPID:  4,
+		Pages:   128,
+		Scanned: 512,
+		Ranks:   4,
+		Dur:     sim.Duration(250),
+		Write:   true,
+		Prio:    "demand",
+	}
+	data, err := ev.marshal(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"JobSwitch"`) {
+		t.Fatalf("kind not symbolic: %s", data)
+	}
+	got, err := ReadJSONL(bytes.NewReader(append(data, '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], ev) {
+		t.Fatalf("round trip: got %+v, want %+v", got, ev)
+	}
+}
+
+// marshal encodes through the JSONL sink so tests exercise the same path
+// the event log uses.
+func (ev Event) marshal(t *testing.T) ([]byte, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(ev)
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+func TestKindUnknownRejected(t *testing.T) {
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"NoSuchKind"`)); err == nil {
+		t.Fatal("unknown kind name accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`17`)); err == nil {
+		t.Fatal("numeric kind accepted")
+	}
+	if _, err := Kind(99).MarshalJSON(); err == nil {
+		t.Fatal("unknown kind value marshalled")
+	}
+}
+
+func TestBusStampsSequence(t *testing.T) {
+	ring := NewRing(8)
+	bus := NewBus(ring)
+	for i := 0; i < 3; i++ {
+		bus.Emit(Event{Kind: KindReclaimScan})
+	}
+	if bus.Emitted() != 3 {
+		t.Fatalf("emitted = %d", bus.Emitted())
+	}
+	for i, ev := range ring.Events() {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// A nil bus must be inert.
+	var nb *Bus
+	nb.Emit(Event{Kind: KindJobSwitch})
+	if nb.Emitted() != 0 {
+		t.Fatal("nil bus counted an emission")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Emit(Event{Seq: uint64(i)})
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	got := r.Events()
+	want := []uint64{7, 8, 9, 10}
+	for i, ev := range got {
+		if ev.Seq != want[i] {
+			t.Fatalf("events after wrap: got %v at %d, want %v", ev.Seq, i, want[i])
+		}
+	}
+}
+
+func TestJSONLRoundTripMany(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	bus := NewBus(sink)
+	events := []Event{
+		{T: 10, Kind: KindPageOutBatch, Node: 0, PID: 1, Pages: 32, Prio: "demand"},
+		{T: 20, Kind: KindDiskTransfer, Node: 1, Pages: 32, Dur: 9000, Write: true, Prio: "background"},
+		{T: 20, Kind: KindBarrierStall, Node: ClusterScope, Job: "a", Ranks: 2, Dur: 400},
+	}
+	for _, ev := range events {
+		bus.Emit(ev)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i, ev := range events {
+		ev.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(got[i], ev) {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], ev)
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"seq\":1}\nnot json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	got, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("blank lines: got %v, %v", got, err)
+	}
+}
+
+func TestNilMetricsAreInert(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil || h.Cumulative() != nil || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	var r *Registry
+	if r.Counter("x", "", nil) != nil || r.Gauge("x", "", nil) != nil ||
+		r.Histogram("x", "", nil, []float64{1}) != nil || r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil registry built metrics")
+	}
+	if err := r.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c := NewRegistry().Counter("c", "", nil)
+	c.Add(-1)
+}
+
+func TestRegistryDedupAndTypeClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "help", Labels{"node": "0"})
+	b := r.Counter("m", "help", Labels{"node": "0"})
+	if a != b {
+		t.Fatal("same series produced distinct counters")
+	}
+	if r.Counter("m", "help", Labels{"node": "1"}) == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type clash did not panic")
+		}
+	}()
+	r.Gauge("m", "help", nil)
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", nil, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 8} {
+		h.Observe(v)
+	}
+	// le-buckets are inclusive: 1 lands in le=1, 2 in le=2, 8 in +Inf.
+	want := []int64{2, 4, 5, 6}
+	if got := h.Cumulative(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cumulative = %v, want %v", got, want)
+	}
+	if h.Count() != 6 || h.Sum() != 16 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("median %v outside its bucket", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("q1 = %v, want upper bound of last finite bucket", q)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h", "", nil, []float64{10})
+	c.Add(5)
+	g.Set(100)
+	h.Observe(3)
+	before := r.Snapshot()
+	c.Add(2)
+	g.Set(42)
+	h.Observe(50)
+	d := r.Snapshot().Delta(before)
+	if v := d["c"]; v.Value != 2 {
+		t.Fatalf("counter delta = %v", v.Value)
+	}
+	if v := d["g"]; v.Value != 42 {
+		t.Fatalf("gauge delta should report current value, got %v", v.Value)
+	}
+	if v := d["h"]; v.Count != 1 || v.Sum != 50 || !reflect.DeepEqual(v.Buckets, []int64{0, 1}) {
+		t.Fatalf("histogram delta = %+v", v)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_pages_total", "Pages moved.", Labels{"node": "1"}).Add(7)
+	r.Counter("sim_pages_total", "Pages moved.", Labels{"node": "0"}).Add(3)
+	r.Gauge("sim_clock_seconds", "Sim time.", nil).Set(1.5)
+	h := r.Histogram("sim_stall_seconds", "Stalls.", Labels{"node": "0"}, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sim_clock_seconds Sim time.
+# TYPE sim_clock_seconds gauge
+sim_clock_seconds 1.5
+# HELP sim_pages_total Pages moved.
+# TYPE sim_pages_total counter
+sim_pages_total{node="0"} 3
+sim_pages_total{node="1"} 7
+# HELP sim_stall_seconds Stalls.
+# TYPE sim_stall_seconds histogram
+sim_stall_seconds_bucket{le="1",node="0"} 1
+sim_stall_seconds_bucket{le="2",node="0"} 2
+sim_stall_seconds_bucket{le="+Inf",node="0"} 2
+sim_stall_seconds_sum{node="0"} 2
+sim_stall_seconds_count{node="0"} 2
+`
+	if buf.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestOptionsBuild(t *testing.T) {
+	var o *Options
+	if o.Build() != nil {
+		t.Fatal("nil options built a setup")
+	}
+	s := (&Options{}).Build()
+	if s == nil || s.Bus != nil || s.Reg != nil || s.Events() != nil {
+		t.Fatalf("zero options: %+v", s)
+	}
+	s = (&Options{KeepEvents: true, EventCap: 2, Metrics: true}).Build()
+	if s.Bus == nil || s.Reg == nil {
+		t.Fatal("keep-events + metrics setup incomplete")
+	}
+	for i := 0; i < 5; i++ {
+		s.Bus.Emit(Event{Kind: KindBGWriteTick})
+	}
+	if got := s.Events(); len(got) != 2 || got[1].Seq != 5 {
+		t.Fatalf("ring cap not honoured: %+v", got)
+	}
+	count := NewCountSink()
+	s = (&Options{Sinks: []Sink{count}}).Build()
+	s.Bus.Emit(Event{Kind: KindJobSwitch})
+	s.Bus.Emit(Event{Kind: KindJobSwitch})
+	if count.Total != 2 || count.ByKind[KindJobSwitch] != 2 {
+		t.Fatalf("count sink: %+v", count)
+	}
+	if s.Events() != nil {
+		t.Fatal("events buffered without KeepEvents")
+	}
+}
+
+func TestNodeObsRegistersPerNodeSeries(t *testing.T) {
+	reg := NewRegistry()
+	bus := NewBus(NewRing(4))
+	n0 := NewNodeObs(reg, bus, 0)
+	n1 := NewNodeObs(reg, bus, 1)
+	if n0.PagesIn == n1.PagesIn {
+		t.Fatal("nodes share a counter")
+	}
+	n0.PagesIn.Add(3)
+	if n1.PagesIn.Value() != 0 {
+		t.Fatal("cross-node leak")
+	}
+	// Disabled-metrics variant still yields a usable (inert) instrument set.
+	off := NewNodeObs(nil, bus, 2)
+	off.PagesIn.Add(3)
+	off.FaultStall.Observe(1)
+	if off.PagesIn.Value() != 0 || off.FaultStall.Count() != 0 {
+		t.Fatal("nil-registry NodeObs accumulated")
+	}
+}

@@ -66,11 +66,12 @@ func (h *eventHeap) Pop() any {
 // Engine is the simulation event loop. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	pq   eventHeap
-	now  Time
-	seq  uint64
-	rng  *rand.Rand
-	nRun uint64 // events executed
+	pq     eventHeap
+	now    Time
+	seq    uint64
+	rng    *rand.Rand
+	nRun   uint64 // events executed
+	onStep func(now Time)
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose RNG is
@@ -88,6 +89,13 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Executed reports how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.nRun }
+
+// SetStepHook installs fn to run after every fired event, with the clock
+// already advanced to the event's timestamp. It is the engine's
+// observability hook point (the cluster uses it to track simulated time and
+// event throughput as live metrics); pass nil to remove. The hook must not
+// schedule or cancel events.
+func (e *Engine) SetStepHook(fn func(now Time)) { e.onStep = fn }
 
 // Pending reports the number of events currently queued (including
 // cancelled events that have not yet been popped).
@@ -129,6 +137,9 @@ func (e *Engine) Step() bool {
 		ev.fired = true
 		e.nRun++
 		ev.fn()
+		if e.onStep != nil {
+			e.onStep(e.now)
+		}
 		return true
 	}
 	return false

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestAddSpreadExactBinEdge: a spread starting exactly on a bin boundary
+// with a whole-bin duration touches exactly those bins, nothing beyond.
+func TestAddSpreadExactBinEdge(t *testing.T) {
+	s := NewSeries("io", sim.Second)
+	s.AddSpread(sim.Time(1*sim.Second), 2*sim.Second, 10)
+	if s.Len() != 3 {
+		t.Fatalf("bins = %d, want 3 (0 empty, 1 and 2 filled)", s.Len())
+	}
+	if s.Bin(0) != 0 || s.Bin(1) != 5 || s.Bin(2) != 5 || s.Bin(3) != 0 {
+		t.Fatalf("bins = %v", s.Bins())
+	}
+}
+
+// TestAddSpreadSubBin: durations shorter than a bin stay in one bin when
+// they fit, and split when they straddle an edge.
+func TestAddSpreadSubBin(t *testing.T) {
+	s := NewSeries("io", sim.Second)
+	s.AddSpread(sim.Time(200*sim.Millisecond), 100*sim.Millisecond, 4)
+	if s.Bin(0) != 4 || s.Len() != 1 {
+		t.Fatalf("contained sub-bin spread: %v", s.Bins())
+	}
+	s.Reset()
+	s.AddSpread(sim.Time(950*sim.Millisecond), 100*sim.Millisecond, 4)
+	if s.Bin(0) != 2 || s.Bin(1) != 2 {
+		t.Fatalf("straddling sub-bin spread: %v", s.Bins())
+	}
+}
+
+// TestBinSumMatchesTotal: whatever mix of Add and AddSpread lands in the
+// series, the bins must sum to Total.
+func TestBinSumMatchesTotal(t *testing.T) {
+	s := NewSeries("io", sim.Second)
+	s.Add(sim.Time(3*sim.Second), 7)
+	s.AddSpread(sim.Time(500*sim.Millisecond), 3*sim.Second, 30)
+	s.AddSpread(sim.Time(10*sim.Second), 700*sim.Millisecond, 11)
+	s.AddSpread(sim.Time(12*sim.Second), 0, 2)
+	sum := 0.0
+	for _, v := range s.Bins() {
+		sum += v
+	}
+	if diff := sum - s.Total(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("bin sum %v != total %v", sum, s.Total())
+	}
+	if s.Total() != 50 {
+		t.Fatalf("total = %v, want 50", s.Total())
+	}
+}
+
+// TestAddSpreadNegativeTimeClamps: mass from before t=0 (which cannot
+// happen live but can in a hand-edited replay log) folds into bin 0 rather
+// than being lost or panicking.
+func TestAddSpreadNegativeTimeClamps(t *testing.T) {
+	s := NewSeries("io", sim.Second)
+	s.AddSpread(sim.Time(-1500*sim.Millisecond), 1500*sim.Millisecond, 6)
+	if s.Bin(0) != 6 {
+		t.Fatalf("negative spread: %v", s.Bins())
+	}
+	if s.Total() != 6 {
+		t.Fatalf("mass lost: total = %v", s.Total())
+	}
+}

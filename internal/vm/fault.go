@@ -64,29 +64,29 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 		stall := v.eng.Now().Sub(start)
 		v.stats.FaultStall += stall
 		as.stats.FaultStall += stall
+		if v.obs != nil {
+			v.obs.FaultStall.Observe(stall.Seconds())
+		}
 		resume()
 	}
 
 	// Already resident: minor fault (racing touch), just pay the trap cost.
 	if as.IsResident(vpage) {
-		v.stats.MinorFaults++
-		as.stats.MinorFaults++
+		v.minorFault(as)
 		v.eng.Schedule(v.cfg.FaultOverhead, finish)
 		return
 	}
 	// Read already in flight (e.g. adaptive page-in prefetch): wait for it.
 	if as.inFlight[vpage] {
-		v.stats.MinorFaults++
-		as.stats.MinorFaults++
+		v.minorFault(as)
 		as.waiters[vpage] = append(as.waiters[vpage], finish)
 		return
 	}
 	// Demand-zero page: no disk involved. If not a single frame can be
 	// freed right now (memory pinned by in-flight reads), retry shortly.
 	if !as.onDisk[vpage] {
-		v.stats.MinorFaults++
+		v.minorFault(as)
 		v.stats.ZeroFills++
-		as.stats.MinorFaults++
 		as.stats.ZeroFills++
 		var attempt func()
 		attempt = func() {
@@ -109,6 +109,9 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 	// swap-backed neighbours, as the Linux 2.2 swap-in path does.
 	v.stats.MajorFaults++
 	as.stats.MajorFaults++
+	if v.obs != nil {
+		v.obs.MajorFaults.Inc()
+	}
 	group := []int{vpage}
 	for next := vpage + 1; next < as.numPages && len(group) < v.cfg.ReadAhead; next++ {
 		if as.IsResident(next) || as.inFlight[next] || !as.onDisk[next] {
@@ -118,6 +121,15 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 	}
 	as.waiters[vpage] = append(as.waiters[vpage], finish)
 	v.readIn(as, group, disk.Demand, nil)
+}
+
+// minorFault accounts one fault satisfied without disk I/O.
+func (v *VM) minorFault(as *AddressSpace) {
+	v.stats.MinorFaults++
+	as.stats.MinorFaults++
+	if v.obs != nil {
+		v.obs.MinorFaults.Inc()
+	}
 }
 
 // ReadPagesIn brings the listed pages of pid into memory with batched,
@@ -250,4 +262,7 @@ func (v *VM) completeRead(as *AddressSpace, pages []int) {
 	}
 	v.stats.PagesIn += int64(n)
 	as.stats.PagesIn += int64(n)
+	if v.obs != nil {
+		v.obs.PagesIn.Add(float64(n))
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,16 @@ func (v *VM) reclaim(target int) int {
 		victims = v.expandClusters(victims, pass)
 	}
 	v.evict(victims, disk.Demand)
+	if v.obs != nil {
+		v.obs.ReclaimPasses.Inc()
+		v.obs.Bus.Emit(obs.Event{
+			T:       v.eng.Now(),
+			Kind:    obs.KindReclaimScan,
+			Node:    v.obs.Node,
+			Scanned: pass.scanned,
+			Pages:   len(victims),
+		})
+	}
 	return len(victims)
 }
 
@@ -95,7 +106,8 @@ func (v *VM) expandClusters(victims []victim, pass *reclaimPass) []victim {
 // successive sweeps (selective + fallback, or repeated clock sweeps of the
 // same process) never select a page twice before eviction happens.
 type reclaimPass struct {
-	taken map[int]map[int]bool // pid -> vpage set
+	taken   map[int]map[int]bool // pid -> vpage set
+	scanned int                  // pages examined across all sweeps of the pass
 }
 
 func newReclaimPass() *reclaimPass { return &reclaimPass{taken: map[int]map[int]bool{}} }
@@ -201,6 +213,7 @@ func (v *VM) clockSweep(as *AddressSpace, scanMax, max int, out *[]victim, pass 
 			continue
 		}
 		scanned++
+		pass.scanned++
 		f := v.phys.Frame(fid)
 		if f.Referenced {
 			// Referenced since the last revolution: rejuvenate.
@@ -259,6 +272,7 @@ func (v *VM) oldestOf(as *AddressSpace, max int, pass *reclaimPass) []victim {
 		}
 		cand = append(cand, aged{vp, v.phys.Frame(fid).LastUse})
 	}
+	pass.scanned += len(cand)
 	sort.Slice(cand, func(i, j int) bool {
 		if cand[i].last != cand[j].last {
 			return cand[i].last < cand[j].last
@@ -280,7 +294,15 @@ func (v *VM) oldestOf(as *AddressSpace, max int, pass *reclaimPass) []victim {
 // and queues one coalesced write-back per owning process for the dirty
 // ones. Clean pages whose swap copy is valid are dropped for free.
 func (v *VM) evict(victims []victim, prio disk.Priority) {
-	dirtySlots := map[*AddressSpace][]disk.Slot{}
+	// Dirty batches are keyed per owning process but kept in a slice in
+	// first-appearance order: map iteration order would randomise the disk
+	// submission order across runs and break reproducibility.
+	type dirtyBatch struct {
+		as    *AddressSpace
+		slots []disk.Slot
+	}
+	var batches []dirtyBatch
+	batchOf := map[*AddressSpace]int{}
 	for _, vi := range victims {
 		as, vp := vi.as, vi.vpage
 		fid := as.frames[vp]
@@ -289,7 +311,13 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 		}
 		f := v.phys.Frame(fid)
 		if f.Dirty {
-			dirtySlots[as] = append(dirtySlots[as], as.region.SlotFor(vp))
+			i, ok := batchOf[as]
+			if !ok {
+				i = len(batches)
+				batchOf[as] = i
+				batches = append(batches, dirtyBatch{as: as})
+			}
+			batches[i].slots = append(batches[i].slots, as.region.SlotFor(vp))
 			as.onDisk[vp] = true
 		}
 		as.bgClean[vp] = false
@@ -300,11 +328,23 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 			v.OnPageOut(as.pid, vp)
 		}
 	}
-	for as, slots := range dirtySlots {
-		n := int64(len(slots))
+	for _, b := range batches {
+		n := int64(len(b.slots))
 		v.stats.PagesOut += n
-		as.stats.PagesOut += n
-		runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
+		b.as.stats.PagesOut += n
+		if v.obs != nil {
+			v.obs.PagesOut.Add(float64(n))
+			v.obs.PageOutBatch.Observe(float64(n))
+			v.obs.Bus.Emit(obs.Event{
+				T:     v.eng.Now(),
+				Kind:  obs.KindPageOutBatch,
+				Node:  v.obs.Node,
+				PID:   b.as.pid,
+				Pages: int(n),
+				Prio:  prio.String(),
+			})
+		}
+		runs := disk.SplitRuns(disk.Coalesce(b.slots), v.cfg.MaxIOPages)
 		for _, r := range runs {
 			v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
 		}
@@ -427,9 +467,26 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 	n := int64(len(slots))
 	if prio == disk.Background {
 		v.stats.BGPagesOut += n
+		if v.obs != nil {
+			v.obs.BGPagesOut.Add(float64(n))
+		}
 	} else {
 		v.stats.PagesOut += n
 		as.stats.PagesOut += n
+		if v.obs != nil {
+			v.obs.PagesOut.Add(float64(n))
+		}
+	}
+	if v.obs != nil {
+		v.obs.PageOutBatch.Observe(float64(n))
+		v.obs.Bus.Emit(obs.Event{
+			T:     v.eng.Now(),
+			Kind:  obs.KindPageOutBatch,
+			Node:  v.obs.Node,
+			PID:   as.pid,
+			Pages: int(n),
+			Prio:  prio.String(),
+		})
 	}
 	runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
 	for _, r := range runs {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/swap"
 )
@@ -189,6 +190,10 @@ type VM struct {
 	// The adaptive page-in recorder (package core) subscribes here.
 	OnPageOut func(pid, vpage int)
 
+	// obs, when non-nil, receives structured events and metric updates
+	// from the fault, reclaim and write-back paths.
+	obs *obs.NodeObs
+
 	stats Stats
 }
 
@@ -218,6 +223,9 @@ func (v *VM) Disk() *disk.Disk { return v.dsk }
 
 // Stats returns a copy of the node-wide counters.
 func (v *VM) Stats() Stats { return v.stats }
+
+// SetObs attaches the node's observability instruments (nil to detach).
+func (v *VM) SetObs(o *obs.NodeObs) { v.obs = o }
 
 // SetVictimPolicy selects the reclaim policy.
 func (v *VM) SetVictimPolicy(p Policy) { v.policy = p }

@@ -1,0 +1,44 @@
+// Benchmarks for the observability layer's overhead claim: a run with
+// Spec.Observe nil must cost the same as before the layer existed (the
+// instrumented code only pays nil checks), and the fully-enabled run shows
+// what full event + metric capture costs.
+package gangsched
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// BenchmarkRunObsDisabled is the zero-overhead path: Observe nil, every
+// instrument compiled in but inert. Compare against BenchmarkRunObsEnabled
+// with benchstat; the acceptance bar is parity (within 5%) with the
+// pre-observability baseline.
+func BenchmarkRunObsDisabled(b *testing.B) {
+	spec := observedSpec(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunObsEnabled runs the same spec with events flowing to a
+// counting sink and the metrics registry live.
+func BenchmarkRunObsEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := observedSpec(&obs.Options{
+			Sinks:   []obs.Sink{obs.NewCountSink()},
+			Metrics: true,
+		})
+		h, err := RunDetailed(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Metrics == nil {
+			b.Fatal("metrics missing")
+		}
+	}
+}

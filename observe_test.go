@@ -1,0 +1,222 @@
+package gangsched
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// observedSpec is the fast two-job over-commit spec every observability
+// test runs: small enough to finish in well under a second, stressed enough
+// to page, fault, reclaim and switch.
+func observedSpec(o *obs.Options) Spec {
+	return Spec{
+		Nodes:    1,
+		MemoryMB: 8,
+		Policy:   "so/ao/ai/bg",
+		Quantum:  time.Second,
+		Seed:     7,
+		Observe:  o,
+		Jobs: []JobSpec{
+			{Name: "a", Workload: fastJob(1000, 40), HintWorkingSet: true},
+			{Name: "b", Workload: fastJob(1000, 40), HintWorkingSet: true},
+		},
+	}
+}
+
+func TestObserveDisabledByDefault(t *testing.T) {
+	h, err := RunDetailed(observedSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Events != nil || h.Metrics != nil {
+		t.Fatalf("observability surfaced without Observe: events=%d metrics=%v",
+			len(h.Events), h.Metrics)
+	}
+}
+
+func TestObserveEventsMatchResult(t *testing.T) {
+	count := obs.NewCountSink()
+	h, err := RunDetailed(observedSpec(&obs.Options{
+		Sinks:      []obs.Sink{count},
+		KeepEvents: true,
+		Metrics:    true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Result
+
+	// The acceptance criterion: one JobSwitch event per counted switch.
+	if got := count.ByKind[obs.KindJobSwitch]; got != int64(res.Switches) {
+		t.Fatalf("JobSwitch events = %d, RunResult.Switches = %d", got, res.Switches)
+	}
+	if count.Total == 0 || len(h.Events) == 0 {
+		t.Fatal("over-commit run emitted no events")
+	}
+	for _, kind := range []obs.Kind{obs.KindPageOutBatch, obs.KindDiskTransfer} {
+		if count.ByKind[kind] == 0 {
+			t.Errorf("no %v events from a thrashing run", kind)
+		}
+	}
+
+	// The registry's node counters must agree with the collected stats.
+	if h.Metrics == nil {
+		t.Fatal("metrics registry missing")
+	}
+	node := res.Nodes[0]
+	lbl := obs.Labels{"node": "0"}
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{obs.MetricPagesIn, float64(node.PagesIn)},
+		{obs.MetricPagesOut, float64(node.PagesOut)},
+		{obs.MetricBGPagesOut, float64(node.BGPagesOut)},
+		{obs.MetricMajorFaults, float64(node.MajorFaults)},
+		{obs.MetricMinorFaults, float64(node.MinorFaults)},
+		{obs.MetricDiskSeeks, float64(node.DiskSeeks)},
+	}
+	for _, c := range checks {
+		if got := h.Metrics.Counter(c.name, "", lbl).Value(); got != c.want {
+			t.Errorf("%s = %v, stats say %v", c.name, got, c.want)
+		}
+	}
+	if got := h.Metrics.Counter(obs.MetricSwitches, "", nil).Value(); got != float64(res.Switches) {
+		t.Errorf("switch counter = %v, result says %d", got, res.Switches)
+	}
+	// Every fault — major or minor — observes its stall exactly once.
+	stall := h.Metrics.Histogram(obs.MetricFaultStall, "", lbl, obs.FaultStallBuckets)
+	if want := node.MajorFaults + node.MinorFaults; stall.Count() != want {
+		t.Errorf("fault-stall observations = %d, faults = %d", stall.Count(), want)
+	}
+	if diff := stall.Sum() - node.FaultStall.Seconds(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("fault-stall sum = %vs, stats say %vs", stall.Sum(), node.FaultStall.Seconds())
+	}
+}
+
+func TestObserveJSONLDeterministic(t *testing.T) {
+	runJSONL := func() []byte {
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		if _, err := RunDetailed(observedSpec(&obs.Options{Sinks: []obs.Sink{sink}})); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := runJSONL(), runJSONL()
+	if len(a) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different event logs")
+	}
+	// And the log must parse back into the same number of events.
+	events, err := obs.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != bytes.Count(a, []byte("\n")) {
+		t.Fatalf("parsed %d events from %d lines", len(events), bytes.Count(a, []byte("\n")))
+	}
+}
+
+func TestObservePromOutput(t *testing.T) {
+	h, err := RunDetailed(observedSpec(&obs.Options{Metrics: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Metrics.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		obs.MetricPagesIn, obs.MetricPagesOut, obs.MetricSwitches,
+		obs.MetricFaultStall, obs.MetricSimTime,
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("exposition lacks %s", name)
+		}
+	}
+	// Every non-comment line must be `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "gangsim_") {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestObserveResultJSONRoundTrip(t *testing.T) {
+	res, err := Run(observedSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back metrics.RunResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != res.Makespan || back.Switches != res.Switches ||
+		len(back.Jobs) != len(res.Jobs) || len(back.Nodes) != len(res.Nodes) ||
+		len(back.Timeline) != len(res.Timeline) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, res)
+	}
+	if back.Nodes[0] != res.Nodes[0] {
+		t.Fatalf("node stats mutated: %+v vs %+v", back.Nodes[0], res.Nodes[0])
+	}
+}
+
+func TestObserveBarrierEvents(t *testing.T) {
+	spec := Spec{
+		Nodes:    2,
+		MemoryMB: 6,
+		Policy:   "orig",
+		Quantum:  200 * time.Millisecond,
+		Observe:  &obs.Options{KeepEvents: true, Metrics: true},
+		Jobs: []JobSpec{
+			{Name: "a", Workload: parallelJob(900, 40)},
+			{Name: "b", Workload: parallelJob(900, 40)},
+		},
+	}
+	h, err := RunDetailed(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalls := 0
+	for _, ev := range h.Events {
+		if ev.Kind != obs.KindBarrierStall {
+			continue
+		}
+		stalls++
+		if ev.Node != obs.ClusterScope || ev.Ranks != 2 || (ev.Job != "a" && ev.Job != "b") {
+			t.Fatalf("malformed barrier event: %+v", ev)
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("synchronising jobs emitted no barrier events")
+	}
+	// Barrier-wait counters must agree with the per-job collected totals.
+	for _, j := range h.Result.Jobs {
+		got := h.Metrics.Counter(obs.MetricBarrierWait, "", obs.Labels{"job": j.Name}).Value()
+		want := j.BarrierWait.Seconds()
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("job %s barrier wait: counter %vs, result %vs", j.Name, got, want)
+		}
+	}
+}
