@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-obs ci clean
+.PHONY: all build vet test race soak check bench-obs ci clean
 
 all: build
 
@@ -17,6 +17,18 @@ test:
 	$(GO) test ./...
 
 race:
+	$(GO) test -race ./...
+
+# Fault-injection soak: the crash/disk-error/straggler mix under the race
+# detector, repeated so scheduling nondeterminism in the host (not the
+# sim — that is byte-identical) gets a chance to surface bugs.
+soak:
+	$(GO) test -race -count 3 -run 'TestFault|TestNilFault' -v .
+
+# The everything gate: vet, build, race tests.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
 	$(GO) test -race ./...
 
 # The obs pair: RunObsDisabled is the zero-overhead claim (parity with the

@@ -6,10 +6,18 @@
 //
 //	gangsim -app LU -class B -ranks 1 -policy so/ao/ai/bg [-batch] \
 //	        [-quantum 5m] [-seed 1] [-compare] [-json] \
-//	        [-events run.jsonl] [-metrics run.prom]
+//	        [-events run.jsonl] [-metrics run.prom] \
+//	        [-faults 'crash=n1@12m,downtime=2m;diskerr=0.001']
 //
 // With -compare, it also runs the batch baseline and the original policy
 // and reports switching overhead and paging reduction.
+//
+// Fault injection: -faults takes a deterministic fault plan as
+// semicolon-separated clauses — crash=n<ID>@<when>[,downtime=<dur>]
+// (repeatable), diskerr=<rate>, diskslow=<rate>[@<latency>] and
+// slow=n<ID>x<factor> (straggler, repeatable). The same seed and plan
+// reproduce the exact same fault sequence; -compare baselines run
+// without faults.
 //
 // Observability: -events streams every structured simulation event to a
 // JSONL file (replayable with pagetrace -replay), -metrics writes the final
@@ -57,6 +65,7 @@ func run() error {
 	configPath := flag.String("config", "", "run a custom experiment from a JSON spec file instead of -app/-class/-ranks")
 	ganttPath := flag.String("gantt", "", "write the gang schedule timeline as an SVG to this file")
 	jsonOut := flag.Bool("json", false, "emit the result (or comparison) as JSON on stdout")
+	faultsPlan := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'crash=n1@12m,downtime=2m;diskerr=0.001;slow=n0x1.5'")
 	eventsPath := flag.String("events", "", "write the structured event stream as JSONL to this file")
 	metricsPath := flag.String("metrics", "", "write final metrics in Prometheus text format to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -93,6 +102,13 @@ func run() error {
 	}
 	if *showTrace {
 		spec.RecordTraces = true
+	}
+	if *faultsPlan != "" {
+		f, err := gangsched.ParseFaults(*faultsPlan)
+		if err != nil {
+			return err
+		}
+		spec.Faults = f
 	}
 
 	// Observability plumbing: a JSONL sink for -events, a registry for
@@ -273,6 +289,10 @@ func printRun(header string, res metrics.RunResult) {
 		fmt.Printf("  node %d: in %dp out %dp bg %dp majflt %d stall %.0fs diskbusy %.0fs seeks %d\n",
 			i, n.PagesIn, n.PagesOut, n.BGPagesOut, n.MajorFaults,
 			n.FaultStall.Seconds(), n.DiskBusy.Seconds(), n.DiskSeeks)
+	}
+	if f := res.Faults; f != (metrics.FaultTally{}) {
+		fmt.Printf("  faults: %d crashes (%d restarts, %d requeues), %d disk errors (%d retries, %d forced), %d transfers dropped\n",
+			f.Crashes, f.Restarts, f.Requeues, f.DiskErrors, f.DiskRetries, f.DiskForced, f.DroppedIO)
 	}
 }
 

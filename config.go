@@ -35,16 +35,19 @@ type JobConfig struct {
 
 // SpecConfig is the JSON description of a whole experiment for LoadSpec.
 type SpecConfig struct {
-	Seed     int64       `json:"seed,omitempty"`
-	Nodes    int         `json:"nodes,omitempty"`
-	MemoryMB int         `json:"memoryMB,omitempty"`
-	LockedMB int         `json:"lockedMB,omitempty"`
-	Policy   string      `json:"policy,omitempty"`
-	Batch    bool        `json:"batch,omitempty"`
-	Quantum  string      `json:"quantum,omitempty"`
-	BGFrac   float64     `json:"bgWriteFraction,omitempty"`
-	Traces   bool        `json:"recordTraces,omitempty"`
-	Jobs     []JobConfig `json:"jobs"`
+	Seed     int64   `json:"seed,omitempty"`
+	Nodes    int     `json:"nodes,omitempty"`
+	MemoryMB int     `json:"memoryMB,omitempty"`
+	LockedMB int     `json:"lockedMB,omitempty"`
+	Policy   string  `json:"policy,omitempty"`
+	Batch    bool    `json:"batch,omitempty"`
+	Quantum  string  `json:"quantum,omitempty"`
+	BGFrac   float64 `json:"bgWriteFraction,omitempty"`
+	Traces   bool    `json:"recordTraces,omitempty"`
+	// Faults is a fault plan in the -faults flag syntax, e.g.
+	// "crash=n1@12m,downtime=2m;diskerr=0.001".
+	Faults string      `json:"faults,omitempty"`
+	Jobs   []JobConfig `json:"jobs"`
 }
 
 // LoadSpec reads a JSON experiment description from path and builds a Spec.
@@ -83,6 +86,13 @@ func (sc SpecConfig) Spec() (Spec, error) {
 			return Spec{}, fmt.Errorf("gangsched: spec quantum: %w", err)
 		}
 		spec.Quantum = q
+	}
+	if sc.Faults != "" {
+		f, err := ParseFaults(sc.Faults)
+		if err != nil {
+			return Spec{}, fmt.Errorf("gangsched: spec faults: %w", err)
+		}
+		spec.Faults = f
 	}
 	if len(sc.Jobs) == 0 {
 		return Spec{}, fmt.Errorf("gangsched: spec has no jobs")

@@ -1,0 +1,103 @@
+package gangsched
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// FaultCrash schedules one fail-stop node crash: at At the node loses
+// every resident and dirty page plus its adaptive page-in flush lists
+// (valid swap copies survive), the job holding the cluster is requeued
+// to the back of the rotation, and after Downtime the node cold-starts
+// and scheduling resumes.
+type FaultCrash struct {
+	Node     int
+	At       time.Duration
+	Downtime time.Duration // 1 minute when 0
+}
+
+// FaultStraggler slows one node's compute by a constant factor (> 1 is
+// slower), modelling a degraded machine.
+type FaultStraggler struct {
+	Node   int
+	Factor float64
+}
+
+// FaultsSpec is a deterministic fault plan for a run. Faults are driven
+// by their own random sources seeded from Spec.Seed, never the model's
+// RNG: a nil FaultsSpec leaves a run byte-identical to one without the
+// field, and the same seed and plan reproduce the same fault sequence.
+type FaultsSpec struct {
+	// DiskErrRate is the probability, per disk transfer attempt, of a
+	// transient error. Errors are absorbed by the disk's bounded
+	// retry-with-exponential-backoff path, so they cost time, not data.
+	DiskErrRate float64
+	// DiskSlowRate is the probability of a latency spike of SlowLatency
+	// (50 ms when 0) on a transfer attempt.
+	DiskSlowRate float64
+	SlowLatency  time.Duration
+
+	Crashes    []FaultCrash
+	Stragglers []FaultStraggler
+}
+
+// ParseFaults parses the compact plan syntax used by the gangsim
+// -faults flag, e.g.
+//
+//	crash=n1@12m,downtime=2m;diskerr=0.001;diskslow=0.01@20ms;slow=n2x1.5
+//
+// See the flag's documentation for the clause grammar. An empty string
+// yields an empty (but non-nil) spec.
+func ParseFaults(s string) (*FaultsSpec, error) {
+	p, err := faults.ParsePlan(s)
+	if err != nil {
+		return nil, err
+	}
+	f := &FaultsSpec{
+		DiskErrRate:  p.DiskErrRate,
+		DiskSlowRate: p.DiskSlowRate,
+		SlowLatency:  stdDur(p.SlowLatency),
+	}
+	for _, c := range p.Crashes {
+		f.Crashes = append(f.Crashes, FaultCrash{
+			Node: c.Node, At: stdDur(c.At), Downtime: stdDur(c.Downtime),
+		})
+	}
+	for _, s := range p.Stragglers {
+		f.Stragglers = append(f.Stragglers, FaultStraggler{Node: s.Node, Factor: s.Factor})
+	}
+	return f, nil
+}
+
+// plan converts the public spec into the injector's internal form,
+// applying the downtime default. A nil receiver yields nil.
+func (f *FaultsSpec) plan() *faults.Plan {
+	if f == nil {
+		return nil
+	}
+	p := &faults.Plan{
+		DiskErrRate:  f.DiskErrRate,
+		DiskSlowRate: f.DiskSlowRate,
+		SlowLatency:  sim.DurationOf(f.SlowLatency),
+	}
+	for _, c := range f.Crashes {
+		down := sim.DurationOf(c.Downtime)
+		if down == 0 {
+			down = faults.DefaultDowntime
+		}
+		p.Crashes = append(p.Crashes, faults.Crash{
+			Node: c.Node, At: sim.DurationOf(c.At), Downtime: down,
+		})
+	}
+	for _, s := range f.Stragglers {
+		p.Stragglers = append(p.Stragglers, faults.Straggler{Node: s.Node, Factor: s.Factor})
+	}
+	return p
+}
+
+// stdDur converts a simulated duration back to wall-clock form.
+func stdDur(d sim.Duration) time.Duration {
+	return time.Duration(d) * time.Microsecond
+}

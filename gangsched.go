@@ -31,12 +31,14 @@
 package gangsched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/gang"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -85,6 +87,16 @@ func NPB(app workload.App, class workload.Class, ranks int) (Behavior, int) {
 	return m.Behavior(), m.AvailMB
 }
 
+// TryNPB is NPB without the panic: it reports an error for
+// configurations outside the modelled set.
+func TryNPB(app workload.App, class workload.Class, ranks int) (Behavior, int, error) {
+	m, err := workload.Get(app, class, ranks)
+	if err != nil {
+		return Behavior{}, 0, err
+	}
+	return m.Behavior(), m.AvailMB, nil
+}
+
 // JobSpec places one job on every node of the cluster.
 type JobSpec struct {
 	Name     string
@@ -127,6 +139,65 @@ type Spec struct {
 	// registry, surfaced on RunHandle. Nil disables the layer entirely —
 	// the zero-overhead default.
 	Observe *obs.Options
+
+	// Faults, when non-nil, injects the described fault plan: node
+	// crashes with cold restarts, transient disk errors and latency
+	// spikes, and straggler nodes. Injection is deterministic under Seed
+	// and never touches the model RNG, so a nil plan changes nothing.
+	Faults *FaultsSpec
+}
+
+// Validate checks the spec without running it. Run and RunContext call
+// it first, so malformed specs yield errors instead of panics from deep
+// inside the model. A zero Nodes count is valid (it defaults to 1);
+// negative counts, negative durations, unknown policies, a locked-memory
+// size at or above the node's memory, and invalid workloads or fault
+// plans are not.
+func (s Spec) Validate() error {
+	if len(s.Jobs) == 0 {
+		return errors.New("gangsched: spec has no jobs")
+	}
+	if s.Nodes < 0 {
+		return fmt.Errorf("gangsched: negative node count %d", s.Nodes)
+	}
+	if _, err := core.ParseFeatures(s.Policy); err != nil {
+		return err
+	}
+	if s.MemoryMB < 0 {
+		return fmt.Errorf("gangsched: negative memory size %d MB", s.MemoryMB)
+	}
+	memMB := s.MemoryMB
+	if memMB == 0 {
+		memMB = cluster.DefaultNodeConfig().MemoryMB
+	}
+	if s.LockedMB < 0 || s.LockedMB >= memMB {
+		return fmt.Errorf("gangsched: locked memory %d MB outside [0, %d)", s.LockedMB, memMB)
+	}
+	if s.Quantum < 0 {
+		return fmt.Errorf("gangsched: negative quantum %v", s.Quantum)
+	}
+	if s.TimeLimit < 0 {
+		return fmt.Errorf("gangsched: negative time limit %v", s.TimeLimit)
+	}
+	if s.BGWriteFraction < 0 || s.BGWriteFraction >= 1 {
+		return fmt.Errorf("gangsched: background-write fraction %v outside [0, 1)", s.BGWriteFraction)
+	}
+	for i, j := range s.Jobs {
+		if j.Name == "" {
+			return fmt.Errorf("gangsched: job %d has no name", i)
+		}
+		if j.Quantum < 0 {
+			return fmt.Errorf("gangsched: job %q has negative quantum %v", j.Name, j.Quantum)
+		}
+		if err := j.Workload.Validate(); err != nil {
+			return fmt.Errorf("gangsched: job %q: %w", j.Name, err)
+		}
+	}
+	nodes := s.Nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	return s.Faults.plan().Validate(nodes)
 }
 
 // RunHandle gives access to the built cluster after Run for callers that
@@ -143,19 +214,44 @@ type RunHandle struct {
 	Metrics *obs.Registry
 }
 
+// ErrTimeLimit reports that the simulated TimeLimit expired with jobs
+// still unfinished. Returned errors match it under errors.Is and are a
+// *TimeLimitError (carrying per-job progress) under errors.As.
+var ErrTimeLimit = cluster.ErrTimeout
+
+// TimeLimitError is the typed form of ErrTimeLimit.
+type TimeLimitError = cluster.TimeLimitError
+
+// JobProgress is one job's completion state inside a TimeLimitError.
+type JobProgress = cluster.JobProgress
+
 // Run executes the experiment to completion and returns its result.
 func Run(spec Spec) (Result, error) {
-	h, err := RunDetailed(spec)
-	if err != nil {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked at every simulation-step boundary. When it is cancelled the
+// partial result is still returned — with Interrupted set and per-job
+// progress in Jobs — alongside the context's error.
+func RunContext(ctx context.Context, spec Spec) (Result, error) {
+	h, err := RunDetailedContext(ctx, spec)
+	if h == nil {
 		return Result{}, err
 	}
-	return h.Result, nil
+	return h.Result, err
 }
 
 // RunDetailed is Run with access to per-node traces.
 func RunDetailed(spec Spec) (*RunHandle, error) {
-	if len(spec.Jobs) == 0 {
-		return nil, errors.New("gangsched: spec has no jobs")
+	return RunDetailedContext(context.Background(), spec)
+}
+
+// RunDetailedContext is RunDetailed with cooperative cancellation; see
+// RunContext for the partial-result contract.
+func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	if spec.Nodes <= 0 {
 		spec.Nodes = 1
@@ -201,18 +297,27 @@ func RunDetailed(spec Spec) (*RunHandle, error) {
 		mode = gang.Batch
 	}
 	cl.BuildScheduler(gang.Options{Mode: mode, BGWriteFraction: spec.BGWriteFraction})
+	if plan := spec.Faults.plan(); !plan.Empty() {
+		if _, err := faults.Attach(cl, plan, spec.Seed); err != nil {
+			return nil, err
+		}
+	}
 	limit := 24 * time.Hour
 	if spec.TimeLimit > 0 {
 		limit = spec.TimeLimit
 	}
-	if err := cl.Run(sim.DurationOf(limit)); err != nil {
-		return nil, err
+	runErr := cl.RunContext(ctx, sim.DurationOf(limit))
+	interrupted := runErr != nil &&
+		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
+	if runErr != nil && !interrupted {
+		return nil, runErr
 	}
 	label := features.String()
 	if spec.Batch {
 		label = "batch"
 	}
 	h := &RunHandle{Result: metrics.Collect(cl, label)}
+	h.Result.Interrupted = interrupted
 	if spec.RecordTraces {
 		for _, n := range cl.Nodes {
 			h.Traces = append(h.Traces, n.Rec)
@@ -222,7 +327,7 @@ func RunDetailed(spec Spec) (*RunHandle, error) {
 		h.Events = setup.Events()
 		h.Metrics = setup.Reg
 	}
-	return h, nil
+	return h, runErr
 }
 
 // Comparison reports a policy against the original algorithm and a batch

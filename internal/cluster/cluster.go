@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -116,6 +119,17 @@ type Cluster struct {
 	nextPID int
 	sched   *gang.Scheduler
 	obs     *obs.Setup
+
+	speeds    map[int]float64 // straggler factors by node id
+	down      map[int]bool    // nodes currently crashed
+	faults    FaultStats
+	onAllDone func()
+}
+
+// FaultStats tallies fault-recovery activity across the run.
+type FaultStats struct {
+	Crashes  int64 // nodes taken down
+	Restarts int64 // nodes brought back up
 }
 
 // New builds a cluster of nNodes identical machines running the given
@@ -228,6 +242,9 @@ func (c *Cluster) AddJob(spec JobSpec) (*gang.Job, error) {
 		p := proc.New(c.Eng, n.VM, pid, spec.Behavior, barrier, func(*proc.Process) {
 			c.sched.MemberFinished(job)
 		})
+		if f, ok := c.speeds[n.ID]; ok {
+			p.SlowFactor = f
+		}
 		job.Members = append(job.Members, gang.Member{Proc: p, Kernel: n.Kernel})
 	}
 	c.jobs = append(c.jobs, job)
@@ -245,32 +262,192 @@ func (c *Cluster) BuildScheduler(opts gang.Options) *gang.Scheduler {
 	if c.obs != nil && opts.Obs == nil {
 		opts.Obs = obs.NewSchedObs(c.obs.Reg, c.obs.Bus)
 	}
-	c.sched = gang.NewScheduler(c.Eng, c.jobs, opts, nil)
+	c.sched = gang.NewScheduler(c.Eng, c.jobs, opts, func() {
+		if c.onAllDone != nil {
+			c.onAllDone()
+		}
+	})
 	return c.sched
+}
+
+// SetOnAllDone registers a callback fired when the last job completes
+// (a fault injector uses it to cancel fault events still pending so the
+// engine can drain). Call before Run; nil clears it.
+func (c *Cluster) SetOnAllDone(fn func()) { c.onAllDone = fn }
+
+// SetNodeSpeed makes node id a straggler: every rank placed on it pays
+// factor× compute cost. Applies to jobs already placed and jobs added
+// later; call before Run.
+func (c *Cluster) SetNodeSpeed(id int, factor float64) {
+	if id < 0 || id >= len(c.Nodes) {
+		panic(fmt.Sprintf("cluster: SetNodeSpeed on unknown node %d", id))
+	}
+	if factor <= 0 {
+		panic(fmt.Sprintf("cluster: SetNodeSpeed factor %v must be positive", factor))
+	}
+	if c.speeds == nil {
+		c.speeds = make(map[int]float64)
+	}
+	c.speeds[id] = factor
+	for _, j := range c.jobs {
+		j.Members[id].Proc.SlowFactor = factor
+	}
+}
+
+// NodeIsDown reports whether node id is currently crashed.
+func (c *Cluster) NodeIsDown(id int) bool { return c.down[id] }
+
+// FaultStats returns the crash/restart tallies.
+func (c *Cluster) FaultStats() FaultStats { return c.faults }
+
+// CrashNode models a fail-stop crash of node id, bringing it back after
+// downtime. The running job is the victim: the scheduler stops it
+// everywhere and requeues it at the rotation tail, then the node's
+// adaptive-paging records, resident pages and in-flight disk traffic
+// are dropped (valid swap copies survive — they are on the paging
+// device, not in memory). While the node is down the whole rotation is
+// parked, since every job has one rank per node. Crashing a node that
+// is already down is a no-op.
+func (c *Cluster) CrashNode(id int, downtime sim.Duration) {
+	if id < 0 || id >= len(c.Nodes) {
+		panic(fmt.Sprintf("cluster: CrashNode on unknown node %d", id))
+	}
+	if downtime <= 0 {
+		panic(fmt.Sprintf("cluster: CrashNode downtime %v must be positive", downtime))
+	}
+	if c.down[id] {
+		return
+	}
+	if c.down == nil {
+		c.down = make(map[int]bool)
+	}
+	c.down[id] = true
+	c.faults.Crashes++
+	n := c.Nodes[id]
+	if c.obs != nil {
+		c.obs.Reg.Counter(obs.MetricNodeCrashes,
+			"Fail-stop node crashes injected.",
+			obs.Labels{"node": strconv.Itoa(id)}).Inc()
+		c.obs.Bus.Emit(obs.Event{
+			T:    c.Eng.Now(),
+			Kind: obs.KindNodeDown,
+			Node: id,
+			Dur:  downtime,
+		})
+	}
+	// Park the scheduler first so every rank is stopped before the
+	// node's memory vanishes, then kill the node's software state: the
+	// kernel module (flush lists), the VM image (resident/dirty pages,
+	// with blocked faulters released so they can re-fault after the
+	// restart) and the disk queue (in-flight and queued transfers).
+	c.sched.Suspend()
+	n.Kernel.CrashReset()
+	n.VM.Crash()
+	n.Disk.Reset()
+	c.Eng.Schedule(downtime, func() { c.restoreNode(id) })
+}
+
+// restoreNode cold-starts a crashed node and, once no node remains
+// down, resumes the rotation from its head.
+func (c *Cluster) restoreNode(id int) {
+	delete(c.down, id)
+	c.faults.Restarts++
+	if c.obs != nil {
+		c.obs.Reg.Counter(obs.MetricNodeRestarts,
+			"Crashed nodes restarted after their downtime.",
+			obs.Labels{"node": strconv.Itoa(id)}).Inc()
+		c.obs.Bus.Emit(obs.Event{
+			T:    c.Eng.Now(),
+			Kind: obs.KindNodeUp,
+			Node: id,
+		})
+	}
+	if len(c.down) == 0 {
+		c.sched.Resume()
+	}
 }
 
 // Scheduler returns the scheduler (nil before BuildScheduler).
 func (c *Cluster) Scheduler() *gang.Scheduler { return c.sched }
 
 // ErrTimeout reports that Run hit its simulated-time limit before every job
-// completed.
+// completed. Returned errors are a *TimeLimitError matching it under
+// errors.Is, carrying per-job progress.
 var ErrTimeout = errors.New("cluster: simulation timed out before all jobs finished")
+
+// JobProgress is one job's completion state when a run is cut short.
+type JobProgress struct {
+	Job        string
+	Done       bool
+	Iterations int // slowest rank's completed iterations
+	TotalIters int
+}
+
+// TimeLimitError is the typed form of ErrTimeout: the simulated-time
+// budget expired with jobs still running. errors.Is(err, ErrTimeout)
+// matches it; Progress reports how far each job got.
+type TimeLimitError struct {
+	Limit    sim.Duration
+	Progress []JobProgress
+}
+
+func (e *TimeLimitError) Error() string {
+	var left []string
+	for _, p := range e.Progress {
+		if !p.Done {
+			left = append(left, fmt.Sprintf("%s %d/%d", p.Job, p.Iterations, p.TotalIters))
+		}
+	}
+	return fmt.Sprintf("cluster: simulation timed out after %v with unfinished jobs: %s",
+		e.Limit, strings.Join(left, ", "))
+}
+
+// Is makes errors.Is(err, ErrTimeout) succeed for the typed error.
+func (e *TimeLimitError) Is(target error) bool { return target == ErrTimeout }
+
+// progress snapshots every job's completion state in creation order.
+func (c *Cluster) progress() []JobProgress {
+	out := make([]JobProgress, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		p := JobProgress{Job: j.Name, Done: j.Done()}
+		for i, m := range j.Members {
+			it := m.Proc.Iteration()
+			if i == 0 || it < p.Iterations {
+				p.Iterations = it
+			}
+			p.TotalIters = m.Proc.Behavior().Iterations
+		}
+		out = append(out, p)
+	}
+	return out
+}
 
 // Run starts the scheduler and drives the engine until every job finishes
 // or limit elapses.
 func (c *Cluster) Run(limit sim.Duration) error {
+	return c.RunContext(context.Background(), limit)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked at every engine-step boundary, and ctx.Err() is returned as
+// soon as it is non-nil, leaving the cluster in a consistent (if
+// unfinished) state that metrics collection can still read.
+func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 	if c.sched == nil {
 		panic("cluster: Run before BuildScheduler")
 	}
 	c.sched.Start()
 	deadline := c.Eng.Now().Add(limit)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		at, ok := c.Eng.NextEventTime()
 		if !ok {
 			break
 		}
 		if at > deadline {
-			return ErrTimeout
+			return &TimeLimitError{Limit: limit, Progress: c.progress()}
 		}
 		c.Eng.Step()
 	}

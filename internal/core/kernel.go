@@ -126,6 +126,16 @@ func (k *Kernel) MarkStopped(pid int) { k.stopped[pid] = true }
 // under the original policy.
 func (k *Kernel) MarkRunning(pid int) { delete(k.stopped, pid) }
 
+// CrashReset models the kernel module dying with its node: every adaptive
+// page-in record (the flush lists of Figure 4) and the stopped-process map
+// are lost, and the background writer halts. The feature set itself
+// survives — it is rebuilt from the boot configuration on restart.
+func (k *Kernel) CrashReset() {
+	k.records = make(map[int]*PageRecord)
+	k.stopped = make(map[int]bool)
+	k.StopBGWrite()
+}
+
 // Forget drops any recorded state for pid (process exit).
 func (k *Kernel) Forget(pid int) {
 	delete(k.records, pid)

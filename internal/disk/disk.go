@@ -88,7 +88,27 @@ type Params struct {
 	// request queue did this for filesystem I/O; swap traffic largely
 	// bypassed it, so the reproduction's default is FIFO.
 	Elevator bool
+
+	// Retry layer (only consulted when a FaultModel is attached; a fault-free
+	// disk never retries). A failed service attempt is retried after an
+	// exponentially growing backoff: RetryBase, 2*RetryBase, 4*RetryBase, …
+	// capped at RetryCap. After RetryMax consecutive failures the transfer is
+	// forced through (modelling firmware sector remapping), so a bounded
+	// number of retries can never wedge the paging path. Zero values take
+	// DefaultRetryMax / DefaultRetryBase / DefaultRetryCap.
+	RetryMax  int
+	RetryBase sim.Duration
+	RetryCap  sim.Duration
 }
+
+// Default retry-layer tuning: up to 6 attempts with 2 ms initial backoff
+// capped at 200 ms — a transient-error burst stalls paging for at most
+// ~0.4 s before the forced completion.
+const (
+	DefaultRetryMax  = 6
+	DefaultRetryBase = 2 * sim.Millisecond
+	DefaultRetryCap  = 200 * sim.Millisecond
+)
 
 // DefaultParams models a ~2003 commodity IDE paging disk: 6 ms average
 // seek within the swap partition, 4 ms rotational latency (7200 rpm), and
@@ -120,6 +140,33 @@ func (p Params) validate() {
 	if p.PerPage <= 0 {
 		panic("disk: per-page transfer time must be positive")
 	}
+	if p.RetryMax < 0 {
+		panic("disk: negative retry bound")
+	}
+	p.RetryBase.CheckNonNegative("disk retry backoff base")
+	p.RetryCap.CheckNonNegative("disk retry backoff cap")
+}
+
+func (p *Params) fillRetryDefaults() {
+	if p.RetryMax == 0 {
+		p.RetryMax = DefaultRetryMax
+	}
+	if p.RetryBase == 0 {
+		p.RetryBase = DefaultRetryBase
+	}
+	if p.RetryCap == 0 {
+		p.RetryCap = DefaultRetryCap
+	}
+}
+
+// FaultModel injects transfer faults into a Disk. Attempt is consulted once
+// per service attempt, in deterministic submission order; fail makes the
+// retry layer back off and try again, extra adds latency to a successful
+// attempt (a spike from a marginal medium). Implementations must draw any
+// randomness from their own seeded source so that a fault-free run never
+// consumes entropy on behalf of the fault layer.
+type FaultModel interface {
+	Attempt(write bool, pages int) (fail bool, extra sim.Duration)
 }
 
 // Tracer observes completed transfers; used to build Figure 6 style
@@ -139,6 +186,13 @@ type Stats struct {
 	DemandTime              sim.Duration // service time of demand requests
 	BackgroundTime          sim.Duration // service time of background requests
 	MaxQueueLen             int
+
+	Errors        int64        // injected transfer errors (failed attempts)
+	Retries       int64        // retry attempts scheduled (== Errors)
+	Forced        int64        // transfers forced through after RetryMax failures
+	RetryStall    sim.Duration // total backoff delay paid by retries
+	InjectedDelay sim.Duration // extra latency from injected slowdown spikes
+	Dropped       int64        // requests discarded by Reset (node crash)
 }
 
 // Disk is a simulated paging device attached to a sim.Engine.
@@ -154,6 +208,13 @@ type Disk struct {
 	qBg       []*Request
 	stats     Stats
 
+	// fm, when non-nil, is consulted once per service attempt; failures are
+	// absorbed by the bounded retry layer (see Params.RetryMax).
+	fm FaultModel
+	// epoch is bumped by Reset; pending retry and completion closures from
+	// an older epoch are dead (the node crashed under them).
+	epoch uint64
+
 	// obs, when non-nil, receives a DiskTransfer event and busy-time /
 	// seek counter updates as each request completes service.
 	obs *obs.NodeObs
@@ -162,9 +223,32 @@ type Disk struct {
 // New creates a disk with the given parameters. tracer may be nil.
 func New(eng *sim.Engine, p Params, tracer Tracer) *Disk {
 	p.validate()
+	p.fillRetryDefaults()
 	// The head starts at an invalid position so the very first access
 	// always pays a seek.
 	return &Disk{eng: eng, p: p, tracer: tracer, head: InvalidSlot}
+}
+
+// SetFaults attaches (or, with nil, detaches) a fault model. Without one the
+// retry layer is completely inert.
+func (d *Disk) SetFaults(fm FaultModel) { d.fm = fm }
+
+// Reset models a node power-cycle: queued and in-flight requests are dropped
+// — their Done callbacks and tracer/observability notifications never fire —
+// and the head position is lost. Statistics are run-scoped and survive.
+// Callers (the crash path in internal/cluster) are responsible for unblocking
+// any process waiting on a dropped transfer.
+func (d *Disk) Reset() {
+	d.epoch++
+	if d.busy {
+		d.stats.Dropped++
+	}
+	d.stats.Dropped += int64(len(d.qDemand) + len(d.qBg))
+	d.busy = false
+	d.headStale = false
+	d.head = InvalidSlot
+	d.qDemand = nil
+	d.qBg = nil
 }
 
 // Params returns the device's cost model.
@@ -279,8 +363,71 @@ func (d *Disk) kick() {
 		return
 	}
 	d.busy = true
+	d.serve(r, 0)
+}
+
+// backoff prices the attempt'th retry (1-based): exponential from RetryBase,
+// capped at RetryCap.
+func (d *Disk) backoff(attempt int) sim.Duration {
+	b := d.p.RetryBase
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if b >= d.p.RetryCap {
+			return d.p.RetryCap
+		}
+	}
+	if b > d.p.RetryCap {
+		b = d.p.RetryCap
+	}
+	return b
+}
+
+// serve runs one service attempt of r, retrying on injected errors. With no
+// fault model attached it is a single synchronous call from kick, identical
+// to the fault-free device.
+func (d *Disk) serve(r *Request, attempt int) {
+	var extra sim.Duration
+	if d.fm != nil && attempt < d.p.RetryMax {
+		fail, delay := d.fm.Attempt(r.Write, r.Pages())
+		if fail {
+			attempt++
+			back := d.backoff(attempt)
+			d.stats.Errors++
+			d.stats.Retries++
+			d.stats.RetryStall += back
+			if d.obs != nil {
+				d.obs.DiskRetries.Inc()
+				d.obs.Bus.Emit(obs.Event{
+					T:       d.eng.Now(),
+					Kind:    obs.KindDiskRetry,
+					Node:    d.obs.Node,
+					Pages:   r.Pages(),
+					Dur:     back,
+					Write:   r.Write,
+					Prio:    r.Prio.String(),
+					Attempt: attempt,
+				})
+			}
+			epoch := d.epoch
+			d.eng.Schedule(back, func() {
+				if d.epoch != epoch {
+					return // node crashed while backing off
+				}
+				d.serve(r, attempt)
+			})
+			return
+		}
+		extra = delay
+		d.stats.InjectedDelay += delay
+	} else if d.fm != nil {
+		// Retry budget exhausted: force the transfer through (firmware
+		// remapped the bad sectors) so paging can never wedge on one block.
+		d.stats.Forced++
+	}
+
 	start := d.eng.Now()
 	svc, newHead, seeks, seq := d.serviceTimeFrom(d.head, r)
+	svc += extra
 	d.head = newHead
 	d.headStale = false
 	d.stats.Seeks += seeks
@@ -299,7 +446,11 @@ func (d *Disk) kick() {
 		d.stats.Reads++
 		d.stats.PagesRead += int64(pages)
 	}
+	epoch := d.epoch
 	d.eng.Schedule(svc, func() {
+		if d.epoch != epoch {
+			return // node crashed mid-transfer: the request is gone
+		}
 		d.busy = false
 		if d.QueueLen() == 0 {
 			d.headStale = true

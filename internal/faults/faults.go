@@ -1,0 +1,258 @@
+// Package faults is the deterministic fault injector: it turns a Plan —
+// node crashes, transient disk errors, latency spikes and straggler
+// nodes — into scheduled simulation events and per-node disk fault
+// models. Everything is driven by its own seeded random sources, never
+// the engine's model RNG, so a nil plan consumes zero entropy and
+// leaves runs byte-identical, while the same seed and plan reproduce
+// the exact same fault sequence.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Default knobs used when the plan string omits them.
+const (
+	// DefaultDowntime is a crashed node's reboot time when the plan does
+	// not give one.
+	DefaultDowntime = 1 * sim.Minute
+	// DefaultSlowLatency is the delay added by a disk latency spike when
+	// the plan does not give one.
+	DefaultSlowLatency = 50 * sim.Millisecond
+)
+
+// Crash schedules one fail-stop node crash.
+type Crash struct {
+	Node     int          // target machine
+	At       sim.Duration // offset from run start
+	Downtime sim.Duration // reboot time before the node returns
+}
+
+// Straggler slows one node's compute by a constant factor.
+type Straggler struct {
+	Node   int
+	Factor float64 // > 1 is slower; must be positive
+}
+
+// Plan is a complete fault schedule for one run. The zero value (and a
+// nil *Plan) injects nothing.
+type Plan struct {
+	// DiskErrRate is the probability that a disk transfer attempt fails
+	// with a transient error and must be retried.
+	DiskErrRate float64
+	// DiskSlowRate is the probability that a disk transfer attempt is
+	// hit by a latency spike of SlowLatency.
+	DiskSlowRate float64
+	// SlowLatency is the spike size (DefaultSlowLatency when 0).
+	SlowLatency sim.Duration
+
+	Crashes    []Crash
+	Stragglers []Straggler
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		(p.DiskErrRate == 0 && p.DiskSlowRate == 0 &&
+			len(p.Crashes) == 0 && len(p.Stragglers) == 0)
+}
+
+// Validate checks the plan against a cluster of nodes machines.
+func (p *Plan) Validate(nodes int) error {
+	if p == nil {
+		return nil
+	}
+	if p.DiskErrRate < 0 || p.DiskErrRate >= 1 {
+		return fmt.Errorf("faults: disk error rate %v outside [0, 1)", p.DiskErrRate)
+	}
+	if p.DiskSlowRate < 0 || p.DiskSlowRate >= 1 {
+		return fmt.Errorf("faults: disk slow rate %v outside [0, 1)", p.DiskSlowRate)
+	}
+	if p.SlowLatency < 0 {
+		return fmt.Errorf("faults: negative slow latency %v", p.SlowLatency)
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= nodes {
+			return fmt.Errorf("faults: crash %d targets node %d outside [0, %d)", i, c.Node, nodes)
+		}
+		if c.At <= 0 {
+			return fmt.Errorf("faults: crash %d at non-positive time %v", i, c.At)
+		}
+		if c.Downtime <= 0 {
+			return fmt.Errorf("faults: crash %d has non-positive downtime %v", i, c.Downtime)
+		}
+	}
+	seen := make(map[int]bool)
+	for i, s := range p.Stragglers {
+		if s.Node < 0 || s.Node >= nodes {
+			return fmt.Errorf("faults: straggler %d targets node %d outside [0, %d)", i, s.Node, nodes)
+		}
+		if s.Factor <= 0 {
+			return fmt.Errorf("faults: straggler %d has non-positive factor %v", i, s.Factor)
+		}
+		if seen[s.Node] {
+			return fmt.Errorf("faults: node %d listed as straggler twice", s.Node)
+		}
+		seen[s.Node] = true
+	}
+	return nil
+}
+
+// normalize fills defaulted fields and puts the schedule in a canonical
+// deterministic order (crashes by time then node, stragglers by node).
+func (p *Plan) normalize() {
+	if p == nil {
+		return
+	}
+	if p.SlowLatency == 0 {
+		p.SlowLatency = DefaultSlowLatency
+	}
+	sort.SliceStable(p.Crashes, func(i, j int) bool {
+		if p.Crashes[i].At != p.Crashes[j].At {
+			return p.Crashes[i].At < p.Crashes[j].At
+		}
+		return p.Crashes[i].Node < p.Crashes[j].Node
+	})
+	sort.SliceStable(p.Stragglers, func(i, j int) bool {
+		return p.Stragglers[i].Node < p.Stragglers[j].Node
+	})
+}
+
+// ParsePlan parses the compact plan syntax used by the -faults flag and
+// Spec configs: semicolon-separated clauses, e.g.
+//
+//	crash=n1@12m,downtime=2m;diskerr=0.001;diskslow=0.01@20ms;slow=n2x1.5
+//
+// Clauses:
+//
+//	crash=n<ID>@<when>[,downtime=<dur>]  one node crash (repeatable)
+//	diskerr=<rate>                       transient disk error probability
+//	diskslow=<rate>[@<latency>]          disk latency-spike probability
+//	slow=n<ID>x<factor>                  straggler node (repeatable)
+//
+// Durations use Go syntax ("90s", "12m"). An empty string yields an
+// empty plan.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "crash":
+			err = p.parseCrash(val)
+		case "diskerr":
+			p.DiskErrRate, err = parseRate(val)
+		case "diskslow":
+			err = p.parseDiskSlow(val)
+		case "slow":
+			err = p.parseStraggler(val)
+		default:
+			err = fmt.Errorf("faults: unknown clause %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.normalize()
+	return p, nil
+}
+
+func (p *Plan) parseCrash(val string) error {
+	spec, rest, hasOpts := strings.Cut(val, ",")
+	nodePart, atPart, ok := strings.Cut(spec, "@")
+	if !ok {
+		return fmt.Errorf("faults: crash %q needs n<ID>@<when>", val)
+	}
+	node, err := parseNode(nodePart)
+	if err != nil {
+		return err
+	}
+	at, err := parseDur(atPart)
+	if err != nil {
+		return fmt.Errorf("faults: crash time: %w", err)
+	}
+	c := Crash{Node: node, At: at, Downtime: DefaultDowntime}
+	if hasOpts {
+		k, v, ok := strings.Cut(rest, "=")
+		if !ok || k != "downtime" {
+			return fmt.Errorf("faults: crash option %q (want downtime=<dur>)", rest)
+		}
+		if c.Downtime, err = parseDur(v); err != nil {
+			return fmt.Errorf("faults: crash downtime: %w", err)
+		}
+	}
+	p.Crashes = append(p.Crashes, c)
+	return nil
+}
+
+func (p *Plan) parseDiskSlow(val string) error {
+	ratePart, latPart, hasLat := strings.Cut(val, "@")
+	rate, err := parseRate(ratePart)
+	if err != nil {
+		return err
+	}
+	p.DiskSlowRate = rate
+	if hasLat {
+		if p.SlowLatency, err = parseDur(latPart); err != nil {
+			return fmt.Errorf("faults: diskslow latency: %w", err)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) parseStraggler(val string) error {
+	nodePart, facPart, ok := strings.Cut(val, "x")
+	if !ok {
+		return fmt.Errorf("faults: straggler %q needs n<ID>x<factor>", val)
+	}
+	node, err := parseNode(nodePart)
+	if err != nil {
+		return err
+	}
+	fac, err := strconv.ParseFloat(facPart, 64)
+	if err != nil {
+		return fmt.Errorf("faults: straggler factor %q: %w", facPart, err)
+	}
+	p.Stragglers = append(p.Stragglers, Straggler{Node: node, Factor: fac})
+	return nil
+}
+
+func parseNode(s string) (int, error) {
+	if !strings.HasPrefix(s, "n") {
+		return 0, fmt.Errorf("faults: node %q must look like n0, n1, ...", s)
+	}
+	id, err := strconv.Atoi(s[1:])
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("faults: bad node id %q", s)
+	}
+	return id, nil
+}
+
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: bad rate %q: %w", s, err)
+	}
+	return r, nil
+}
+
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.DurationOf(d), nil
+}

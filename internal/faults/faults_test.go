@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParsePlanFull(t *testing.T) {
+	p, err := ParsePlan("crash=n1@12m,downtime=2m;diskerr=0.001;diskslow=0.01@20ms;slow=n2x1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 {
+		t.Fatalf("crashes = %+v, want 1", p.Crashes)
+	}
+	c := p.Crashes[0]
+	if c.Node != 1 || c.At != 12*sim.Minute || c.Downtime != 2*sim.Minute {
+		t.Errorf("crash = %+v", c)
+	}
+	if p.DiskErrRate != 0.001 {
+		t.Errorf("DiskErrRate = %v", p.DiskErrRate)
+	}
+	if p.DiskSlowRate != 0.01 || p.SlowLatency != 20*sim.Millisecond {
+		t.Errorf("slow = %v @ %v", p.DiskSlowRate, p.SlowLatency)
+	}
+	if len(p.Stragglers) != 1 || p.Stragglers[0] != (Straggler{Node: 2, Factor: 1.5}) {
+		t.Errorf("stragglers = %+v", p.Stragglers)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Errorf("Validate(3) = %v", err)
+	}
+	if err := p.Validate(2); err == nil {
+		t.Error("Validate(2) accepted out-of-range nodes")
+	}
+}
+
+func TestParsePlanDefaults(t *testing.T) {
+	p, err := ParsePlan("crash=n0@90s;diskslow=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Crashes[0].Downtime != DefaultDowntime {
+		t.Errorf("downtime = %v, want default %v", p.Crashes[0].Downtime, DefaultDowntime)
+	}
+	if p.SlowLatency != DefaultSlowLatency {
+		t.Errorf("latency = %v, want default %v", p.SlowLatency, DefaultSlowLatency)
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Errorf("empty string produced non-empty plan %+v", p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"crash=n0",               // no time
+		"crash=x0@1m",            // bad node syntax
+		"crash=n0@1m,retry=2m",   // unknown option
+		"diskerr=lots",           // non-numeric rate
+		"slow=n1",                // no factor
+		"explode=everything",     // unknown clause
+		"crash",                  // not key=value
+		"diskslow=0.1@sometimes", // bad latency
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted bad input", bad)
+		}
+	}
+}
+
+func TestValidateRates(t *testing.T) {
+	for _, p := range []*Plan{
+		{DiskErrRate: -0.1},
+		{DiskErrRate: 1},
+		{DiskSlowRate: 1.5},
+		{SlowLatency: -sim.Second},
+		{Crashes: []Crash{{Node: 0, At: 0, Downtime: sim.Minute}}},
+		{Crashes: []Crash{{Node: 0, At: sim.Minute, Downtime: 0}}},
+		{Stragglers: []Straggler{{Node: 0, Factor: 0}}},
+		{Stragglers: []Straggler{{Node: 0, Factor: 2}, {Node: 0, Factor: 3}}},
+	} {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	if err := (*Plan)(nil).Validate(1); err != nil {
+		t.Errorf("nil plan Validate = %v", err)
+	}
+}
+
+func TestNormalizeOrdersCrashes(t *testing.T) {
+	p, err := ParsePlan("crash=n2@10m;crash=n0@5m;crash=n1@5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, c := range p.Crashes {
+		got = append(got, c.Node)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("crash order = %v, want %v", got, want)
+		}
+	}
+	if p.Crashes[0].At != 5*sim.Minute {
+		t.Errorf("first crash at %v", p.Crashes[0].At)
+	}
+}
+
+func TestParseErrorsMentionFaults(t *testing.T) {
+	_, err := ParsePlan("crash=n0")
+	if err == nil || !strings.Contains(err.Error(), "faults:") {
+		t.Errorf("error %v does not carry the faults: prefix", err)
+	}
+}

@@ -105,6 +105,7 @@ type Options struct {
 type Stats struct {
 	Switches     int64
 	QuantaServed int64
+	Requeues     int64 // crash victims moved to the rotation tail
 	FirstSwitch  sim.Time
 	LastFinish   sim.Time
 }
@@ -122,10 +123,11 @@ type Scheduler struct {
 	jobs []*Job
 	opts Options
 
-	cur       int // index of the running job, -1 before start
+	cur       int // index of the running job, -1 before start or while parked
 	timer     *sim.Event
 	bgTimer   *sim.Event
 	started   bool
+	suspended bool // parked by Suspend (node down), waiting for Resume
 	stats     Stats
 	onAllDone func()
 
@@ -184,10 +186,69 @@ func (s *Scheduler) MemberFinished(j *Job) {
 		}
 		return
 	}
-	// The finished job held the cluster: hand it over immediately.
-	if s.jobs[s.cur] == j {
+	// The finished job held the cluster: hand it over immediately. While
+	// parked after a node crash nothing runs, so no handover is due.
+	if s.cur >= 0 && s.jobs[s.cur] == j {
 		s.switchTo(s.nextRunnable(s.cur))
 	}
+}
+
+// Suspend parks the scheduler in response to a node crash. The running
+// job — the crash victim, whose rank on the dead node just lost its
+// memory image — is stopped on every node and moved to the tail of the
+// rotation, forfeiting the rest of its quantum. Because every job has
+// one rank per node, no job can make progress while a node is down, so
+// the whole rotation pauses until Resume. Returns the victim, or nil
+// when no unfinished job was running (already parked, or all done).
+func (s *Scheduler) Suspend() *Job {
+	s.cancelTimers()
+	if !s.started {
+		return nil
+	}
+	s.suspended = true
+	if s.cur < 0 || s.jobs[s.cur].finished {
+		s.cur = -1
+		return nil
+	}
+	victim := s.jobs[s.cur]
+	s.closeInterval()
+	for i := range victim.Members {
+		m := &victim.Members[i]
+		m.Kernel.StopBGWrite()
+		m.Proc.Stop()
+		m.Kernel.MarkStopped(m.Proc.PID())
+	}
+	// Move the victim to the rotation tail so survivors run first after
+	// the restart.
+	idx := s.cur
+	s.jobs = append(append(s.jobs[:idx:idx], s.jobs[idx+1:]...), victim)
+	s.cur = -1
+	s.stats.Requeues++
+	if o := s.opts.Obs; o != nil {
+		o.Requeues.Inc()
+		o.Bus.Emit(obs.Event{
+			T:     s.eng.Now(),
+			Kind:  obs.KindJobRequeued,
+			Node:  obs.ClusterScope,
+			Job:   victim.Name,
+			Ranks: len(victim.Members),
+		})
+	}
+	return victim
+}
+
+// Resume restarts scheduling after the crashed node has rebooted. The
+// rotation restarts from the head, so surviving jobs run before the
+// requeued victim. No-op unless parked by Suspend.
+func (s *Scheduler) Resume() {
+	if !s.suspended {
+		return
+	}
+	s.suspended = false
+	if s.allDone() {
+		return
+	}
+	s.switchTo(s.nextRunnable(-1))
 }
 
 // Jobs returns the job list (callers must not mutate).

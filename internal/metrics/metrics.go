@@ -51,6 +51,13 @@ type JobResult struct {
 	// barrier (0 for serial jobs) — the synchronization delay that
 	// unsynchronized paging inflates.
 	BarrierWait sim.Duration
+	// Done reports whether every rank completed; false only when the run
+	// was cut short (context cancellation or time limit).
+	Done bool
+	// Iterations is the slowest rank's completed iteration count, out of
+	// TotalIters — the job's progress when the run ended.
+	Iterations int
+	TotalIters int
 }
 
 // NodeResult aggregates one node's paging activity.
@@ -64,6 +71,23 @@ type NodeResult struct {
 	DiskBusy      sim.Duration
 	DiskSeeks     int64
 	WastedBGWrite int64
+	// DiskErrors / DiskRetries count injected transfer errors and the
+	// retries that absorbed them; RetryStall is the backoff time paid.
+	DiskErrors  int64
+	DiskRetries int64
+	RetryStall  sim.Duration
+}
+
+// FaultTally aggregates injected-fault recovery activity over a run. All
+// zeros when no fault plan was attached.
+type FaultTally struct {
+	Crashes     int64 // fail-stop node crashes
+	Restarts    int64 // nodes that completed their cold restart
+	Requeues    int64 // crash victims moved to the rotation tail
+	DiskErrors  int64 // transient disk errors injected (all nodes)
+	DiskRetries int64 // disk retry attempts (matches DiskErrors 1:1)
+	DiskForced  int64 // transfers that exhausted the retry budget
+	DroppedIO   int64 // queued/in-flight transfers lost to crashes
 }
 
 // RunResult is the outcome of one simulated experiment run.
@@ -74,6 +98,11 @@ type RunResult struct {
 	Nodes    []NodeResult
 	Makespan sim.Duration // finish time of the last job
 	Switches int64
+	// Interrupted marks a partial result: the run's context was cancelled
+	// before every job finished. Per-job progress is in Jobs.
+	Interrupted bool
+	// Faults tallies injected faults and the recovery work they caused.
+	Faults FaultTally
 	// Timeline records which job owned the cluster when (one interval per
 	// quantum or partial quantum).
 	Timeline []gang.Interval
@@ -85,12 +114,23 @@ func Collect(c *cluster.Cluster, policy string) RunResult {
 	if s := c.Scheduler(); s != nil {
 		r.Mode = s.Mode().String()
 		r.Switches = s.Stats().Switches
+		r.Faults.Requeues = s.Stats().Requeues
 		r.Timeline = s.Timeline()
 	}
+	fs := c.FaultStats()
+	r.Faults.Crashes = fs.Crashes
+	r.Faults.Restarts = fs.Restarts
 	for _, j := range c.Jobs() {
-		jr := JobResult{Name: j.Name, FinishedAt: j.FinishedAt()}
+		jr := JobResult{Name: j.Name, FinishedAt: j.FinishedAt(), Done: j.Done()}
 		if j.Barrier != nil {
 			jr.BarrierWait = j.Barrier.WaitTime()
+		}
+		for i, m := range j.Members {
+			it := m.Proc.Iteration()
+			if i == 0 || it < jr.Iterations {
+				jr.Iterations = it
+			}
+			jr.TotalIters = m.Proc.Behavior().Iterations
 		}
 		r.Jobs = append(r.Jobs, jr)
 		if d := sim.Duration(j.FinishedAt()); d > r.Makespan {
@@ -110,7 +150,14 @@ func Collect(c *cluster.Cluster, policy string) RunResult {
 			DiskBusy:      ds.BusyTime,
 			DiskSeeks:     ds.Seeks,
 			WastedBGWrite: vs.WastedBGWrite,
+			DiskErrors:    ds.Errors,
+			DiskRetries:   ds.Retries,
+			RetryStall:    ds.RetryStall,
 		})
+		r.Faults.DiskErrors += ds.Errors
+		r.Faults.DiskRetries += ds.Retries
+		r.Faults.DiskForced += ds.Forced
+		r.Faults.DroppedIO += ds.Dropped
 	}
 	return r
 }

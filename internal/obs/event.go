@@ -31,6 +31,24 @@ const (
 	// KindDiskTransfer is one completed disk request (Pages, Dur = service
 	// time, Write, Prio).
 	KindDiskTransfer
+	// KindFaultInjected is one fault occurrence produced by the fault
+	// injector (Fault = "diskerr", "diskslow", "crash" or "straggler";
+	// Node = target machine; Dur = extra latency / downtime where relevant).
+	KindFaultInjected
+	// KindDiskRetry is one retry scheduled by the disk's bounded
+	// retry-with-backoff layer after an injected transfer error
+	// (Attempt = 1-based failure count, Dur = backoff delay, Write, Prio).
+	KindDiskRetry
+	// KindNodeDown marks a node crash: all resident and dirty pages plus
+	// the adaptive page-in records on that machine are lost
+	// (Dur = configured downtime).
+	KindNodeDown
+	// KindNodeUp marks a crashed node completing its cold restart.
+	KindNodeUp
+	// KindJobRequeued is emitted by the gang scheduler when the job that
+	// held the cluster at crash time is moved to the back of the rotation
+	// (Job = victim).
+	KindJobRequeued
 )
 
 var kindNames = map[Kind]string{
@@ -41,6 +59,11 @@ var kindNames = map[Kind]string{
 	KindBGWriteTick:   "BGWriteTick",
 	KindBarrierStall:  "BarrierStall",
 	KindDiskTransfer:  "DiskTransfer",
+	KindFaultInjected: "FaultInjected",
+	KindDiskRetry:     "DiskRetry",
+	KindNodeDown:      "NodeDown",
+	KindNodeUp:        "NodeUp",
+	KindJobRequeued:   "JobRequeued",
 }
 
 func (k Kind) String() string {
@@ -103,4 +126,8 @@ type Event struct {
 	Dur     sim.Duration `json:"durUs,omitempty"`
 	Write   bool         `json:"write,omitempty"`
 	Prio    string       `json:"prio,omitempty"`
+	// Fault names the injected fault class for KindFaultInjected events.
+	Fault string `json:"fault,omitempty"`
+	// Attempt is the 1-based failure count for KindDiskRetry events.
+	Attempt int `json:"attempt,omitempty"`
 }

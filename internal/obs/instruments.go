@@ -22,6 +22,12 @@ const (
 	MetricBarrierWait     = "gangsim_barrier_wait_seconds_total" // counter{job}
 	MetricSimTime         = "gangsim_sim_time_seconds"           // gauge
 	MetricEngineEvents    = "gangsim_engine_events_total"        // counter
+
+	MetricFaultsInjected = "gangsim_faults_injected_total" // counter{node,fault}
+	MetricDiskRetries    = "gangsim_disk_retries_total"    // counter{node}
+	MetricNodeCrashes    = "gangsim_node_crashes_total"    // counter{node}
+	MetricNodeRestarts   = "gangsim_node_restarts_total"   // counter{node}
+	MetricJobRequeues    = "gangsim_job_requeues_total"    // counter
 )
 
 // FaultStallBuckets bounds the fault-stall latency histogram (seconds):
@@ -56,6 +62,7 @@ type NodeObs struct {
 	SwitchEvictions *Counter
 	DiskBusySeconds *Counter
 	DiskSeeks       *Counter
+	DiskRetries     *Counter
 
 	FaultStall   *Histogram
 	PageOutBatch *Histogram
@@ -80,6 +87,7 @@ func NewNodeObs(reg *Registry, bus *Bus, node int) *NodeObs {
 		SwitchEvictions: reg.Counter(MetricSwitchEvictions, "Pages evicted synchronously by aggressive page-out.", l),
 		DiskBusySeconds: reg.Counter(MetricDiskBusySeconds, "Paging-device service time.", l),
 		DiskSeeks:       reg.Counter(MetricDiskSeeks, "Disk runs that paid a seek plus rotation.", l),
+		DiskRetries:     reg.Counter(MetricDiskRetries, "Disk transfer attempts retried after injected errors.", l),
 
 		FaultStall:   reg.Histogram(MetricFaultStall, "Per-fault process stall time in seconds.", l, FaultStallBuckets),
 		PageOutBatch: reg.Histogram(MetricPageOutBatch, "Dirty write-back batch size in pages.", l, PageOutBatchBuckets),
@@ -91,6 +99,7 @@ type SchedObs struct {
 	Bus      *Bus
 	Switches *Counter
 	Quanta   *Counter
+	Requeues *Counter
 }
 
 // NewSchedObs builds the scheduler instrument set; reg and bus may be nil.
@@ -99,6 +108,7 @@ func NewSchedObs(reg *Registry, bus *Bus) *SchedObs {
 		Bus:      bus,
 		Switches: reg.Counter(MetricSwitches, "Coordinated job switches performed.", nil),
 		Quanta:   reg.Counter(MetricQuanta, "Quanta (full or partial) served.", nil),
+		Requeues: reg.Counter(MetricJobRequeues, "Crash victims requeued to the rotation tail.", nil),
 	}
 }
 

@@ -148,6 +148,11 @@ type Process struct {
 	// requests take effect promptly; set before the first Start.
 	ChunkPages int
 
+	// SlowFactor scales this rank's compute costs (touch and per-iteration
+	// work); > 1 models a straggler node. 1 (the default) is exactly the
+	// unscaled cost path. Set before the first Start.
+	SlowFactor float64
+
 	running bool
 	started bool
 	blocked bool // waiting on fault/compute/barrier completion event
@@ -191,6 +196,7 @@ func New(eng *sim.Engine, v *vm.VM, pid int, beh Behavior, barrier *mpi.Barrier,
 		beh:        beh,
 		barrier:    barrier,
 		ChunkPages: 8192,
+		SlowFactor: 1,
 		cursor:     beh.Segments[0].Offset,
 		onFinish:   onFinish,
 		iterScale:  1,
@@ -273,6 +279,9 @@ func (p *Process) advance() {
 			p.ph = phaseBarrier
 			if p.beh.ComputePerIter > 0 {
 				cost := p.beh.ComputePerIter.Scale(p.iterScale)
+				if p.SlowFactor != 1 {
+					cost = cost.Scale(p.SlowFactor)
+				}
 				p.stats.ComputeTime += cost
 				p.block()
 				p.eng.Schedule(cost, p.resume)
@@ -334,6 +343,9 @@ func (p *Process) stepTouch() bool {
 	p.v.TouchResident(p.pid, p.cursor, run, write)
 	p.cursor += run
 	cost := (sim.Duration(run) * p.beh.TouchCost).Scale(p.iterScale)
+	if p.SlowFactor != 1 {
+		cost = cost.Scale(p.SlowFactor)
+	}
 	p.stats.ComputeTime += cost
 	p.block()
 	p.eng.Schedule(cost, p.resume)

@@ -88,8 +88,15 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 		v.minorFault(as)
 		v.stats.ZeroFills++
 		as.stats.ZeroFills++
+		epoch := v.epoch
 		var attempt func()
 		attempt = func() {
+			if v.epoch != epoch {
+				// The node crashed while this fill was waiting for memory;
+				// release the process so it can re-fault after the restart.
+				finish()
+				return
+			}
 			v.ensureFree(1)
 			fid, ok := v.phys.Alloc(pid, int32(vpage), v.eng.Now())
 			if !ok {
@@ -188,7 +195,18 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone fu
 	avail := v.ensureFree(len(group))
 	if avail < len(group) {
 		if avail < 1 {
-			v.eng.Schedule(reclaimRetryDelay, func() { v.readIn(as, group, prio, onDone) })
+			epoch := v.epoch
+			v.eng.Schedule(reclaimRetryDelay, func() {
+				if v.epoch != epoch {
+					// Node crashed while waiting for memory: abandon the
+					// read (waiters were resumed by Crash).
+					if onDone != nil {
+						onDone()
+					}
+					return
+				}
+				v.readIn(as, group, prio, onDone)
+			})
 			return
 		}
 		group = group[:avail]

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/disk"
 	"repro/internal/mem"
@@ -194,6 +195,10 @@ type VM struct {
 	// from the fault, reclaim and write-back paths.
 	obs *obs.NodeObs
 
+	// epoch is bumped by Crash; deferred fault-path closures (zero-fill and
+	// read-in retries) from an older epoch must not touch post-crash state.
+	epoch uint64
+
 	stats Stats
 }
 
@@ -310,6 +315,54 @@ func (v *VM) DestroyProcess(pid int) {
 	delete(v.swapCnt, pid)
 	if v.outgoing == pid {
 		v.outgoing = 0
+	}
+}
+
+// Crash models a node power loss for every live process: all resident
+// frames are dropped without write-back (dirty data is lost; valid swap
+// copies survive, so previously paged-out data remains readable), in-flight
+// reads are abandoned, and every blocked fault waiter is resumed so the
+// owning process can re-fault once the node is back. The page-out hook is
+// NOT invoked for crash-dropped pages — they were lost, not paged out, so
+// adaptive page-in must not learn them. Callers must Reset the paging disk
+// in the same instant, before any engine event runs.
+func (v *VM) Crash() {
+	v.epoch++
+	// Deterministic iteration order: ascending pid.
+	pids := make([]int, 0, len(v.procs))
+	for pid := range v.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var resumes []func()
+	for _, pid := range pids {
+		as := v.procs[pid]
+		for vp, fid := range as.frames {
+			if fid != mem.NoFrame {
+				v.phys.Release(fid)
+				as.frames[vp] = mem.NoFrame
+			}
+			as.inFlight[vp] = false
+			as.bgClean[vp] = false
+		}
+		as.resident = 0
+		// Collect waiters in vpage order, then fire after all bookkeeping is
+		// consistent: a resumed process may immediately re-fault.
+		vps := make([]int, 0, len(as.waiters))
+		for vp := range as.waiters {
+			vps = append(vps, vp)
+		}
+		sort.Ints(vps)
+		for _, vp := range vps {
+			resumes = append(resumes, as.waiters[vp]...)
+		}
+		as.waiters = make(map[int][]func())
+		delete(v.hands, pid)
+		delete(v.swapCnt, pid)
+	}
+	v.outgoing = 0
+	for _, r := range resumes {
+		r()
 	}
 }
 
