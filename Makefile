@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race soak check bench-obs ci clean
+.PHONY: all build vet test race soak check bench bench-obs ci clean
 
 all: build
 
@@ -25,11 +25,20 @@ race:
 soak:
 	$(GO) test -race -count 3 -run 'TestFault|TestNilFault' -v .
 
-# The everything gate: vet, build, race tests.
+# The everything gate: vet, build, race tests, and the serial-vs-parallel
+# equivalence test under the race detector (the determinism contract of the
+# parallel experiment runner).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestParallelEquivalence|TestWorkloadConcurrent' -count 1 .
+
+# Simulator benchmark suite with allocation stats, summarised into the
+# machine-readable BENCH_sim.json (name, ns/op, B/op, allocs/op).
+bench:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem . | bin/benchjson -o BENCH_sim.json
 
 # The obs pair: RunObsDisabled is the zero-overhead claim (parity with the
 # pre-observability baseline), RunObsEnabled prices full capture. Compare

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into a machine-readable JSON array. Each benchmark line becomes
+// one record with the benchmark name, iterations and the standard
+// per-operation measurements; custom b.ReportMetric units are collected
+// under "metrics".
+//
+// Usage:
+//
+//	go test -run NONE -bench BenchmarkFig -benchmem . | benchjson -o BENCH_sim.json
+//
+// Non-benchmark lines (the goos/pkg header, PASS, ok) pass through to
+// stderr so the surrounding make target stays readable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in machine-readable form.
+type Result struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BytesOp  float64            `json:"bytes_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "-", "output file ('-' for stdout)")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d benchmark(s) written to %s", len(results), *out)
+}
+
+// parseLine decodes one `Benchmark<Name>[-procs] <iters> <value> <unit>...`
+// line; ok is false for anything else.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iters: iters}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

@@ -10,7 +10,10 @@
 //	        [-faults 'crash=n1@12m,downtime=2m;diskerr=0.001']
 //
 // With -compare, it also runs the batch baseline and the original policy
-// and reports switching overhead and paging reduction.
+// and reports switching overhead and paging reduction. The baseline runs
+// are independent simulations and fan out across -parallel worker
+// goroutines (default: one per CPU); results are deterministic at any
+// parallelism level.
 //
 // Fault injection: -faults takes a deterministic fault plan as
 // semicolon-separated clauses — crash=n<ID>@<when>[,downtime=<dur>]
@@ -28,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -70,6 +74,7 @@ func run() error {
 	metricsPath := flag.String("metrics", "", "write final metrics in Prometheus text format to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	parallel := flag.Int("parallel", 0, "worker goroutines for -compare baseline runs (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -144,7 +149,7 @@ func run() error {
 
 	var cmp *gangsched.Comparison
 	if *compare && !spec.Batch {
-		if cmp, err = compareAgainst(spec, h.Result); err != nil {
+		if cmp, err = compareAgainst(spec, h.Result, *parallel); err != nil {
 			return err
 		}
 	}
@@ -211,25 +216,28 @@ func specForPair(m workload.Model, policy string, batch bool, quantum time.Durat
 }
 
 // compareAgainst runs the batch and original-policy baselines (bare, no
-// observability) and assembles the paper's comparison metrics around the
-// already-completed policy run.
-func compareAgainst(spec gangsched.Spec, policyRes gangsched.Result) (*gangsched.Comparison, error) {
+// observability) concurrently across parallel workers and assembles the
+// paper's comparison metrics around the already-completed policy run.
+func compareAgainst(spec gangsched.Spec, policyRes gangsched.Result, parallel int) (*gangsched.Comparison, error) {
 	b := spec
 	b.Batch = true
 	b.Policy = "orig"
 	b.Observe = nil
-	batchRes, err := gangsched.Run(b)
-	if err != nil {
-		return nil, fmt.Errorf("batch baseline: %w", err)
-	}
-	origRes := policyRes
+	specs := []gangsched.Spec{b}
 	if policyRes.Policy != "orig" {
 		o := spec
 		o.Policy = "orig"
 		o.Observe = nil
-		if origRes, err = gangsched.Run(o); err != nil {
-			return nil, fmt.Errorf("original policy: %w", err)
-		}
+		specs = append(specs, o)
+	}
+	results, err := gangsched.RunAll(context.Background(), parallel, specs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline runs: %w", err)
+	}
+	batchRes := results[0]
+	origRes := policyRes
+	if len(results) > 1 {
+		origRes = results[1]
 	}
 	c := &gangsched.Comparison{Batch: batchRes, Orig: origRes, Policy: policyRes}
 	c.SwitchingOverheadOrig = metrics.SwitchingOverhead(origRes.Makespan, batchRes.Makespan)

@@ -43,6 +43,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/proc"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -330,6 +331,20 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	return h, runErr
 }
 
+// RunAll executes the independent specs concurrently on a bounded worker
+// pool (parallel <= 0 means one worker per CPU, 1 forces serial) and
+// returns their results in input order. Each run owns its engine, RNG and
+// cluster, so concurrency cannot perturb outcomes: for any parallel
+// setting the returned slice is identical to running the specs in a loop.
+// On failure the error of the lowest failing index is returned — the same
+// one a serial loop would have hit first. It is the sweep primitive behind
+// Compare, cmd/figures and the internal experiment runners.
+func RunAll(ctx context.Context, parallel int, specs []Spec) ([]Result, error) {
+	return runner.Map(ctx, parallel, len(specs), func(ctx context.Context, i int) (Result, error) {
+		return RunContext(ctx, specs[i])
+	})
+}
+
 // Comparison reports a policy against the original algorithm and a batch
 // baseline on the same spec, using the paper's metrics.
 type Comparison struct {
@@ -343,28 +358,31 @@ type Comparison struct {
 }
 
 // Compare runs spec three times — batch, original policy, and spec.Policy —
-// and reports the paper's overhead and reduction metrics.
+// and reports the paper's overhead and reduction metrics. The three runs
+// are independent and execute via RunAll with one worker per CPU; use
+// CompareParallel to pick the worker count explicitly.
 func Compare(spec Spec) (Comparison, error) {
+	return CompareParallel(context.Background(), 0, spec)
+}
+
+// CompareParallel is Compare with explicit context and worker-pool bound
+// (see RunAll for the parallel semantics).
+func CompareParallel(ctx context.Context, parallel int, spec Spec) (Comparison, error) {
 	var c Comparison
 	b := spec
 	b.Batch = true
 	b.Policy = "orig"
 	b.Observe = nil // observability applies to the policy run only
-	var err error
-	if c.Batch, err = Run(b); err != nil {
-		return c, fmt.Errorf("gangsched: batch baseline: %w", err)
-	}
 	o := spec
 	o.Batch = false
 	o.Policy = "orig"
 	o.Observe = nil
-	if c.Orig, err = Run(o); err != nil {
-		return c, fmt.Errorf("gangsched: original policy: %w", err)
-	}
 	p := spec
 	p.Batch = false
-	if c.Policy, err = Run(p); err != nil {
-		return c, fmt.Errorf("gangsched: policy %q: %w", spec.Policy, err)
+	results, err := RunAll(ctx, parallel, []Spec{b, o, p})
+	c.Batch, c.Orig, c.Policy = results[0], results[1], results[2]
+	if err != nil {
+		return c, fmt.Errorf("gangsched: comparing policy %q: %w", spec.Policy, err)
 	}
 	c.SwitchingOverheadOrig = metrics.SwitchingOverhead(c.Orig.Makespan, c.Batch.Makespan)
 	c.SwitchingOverheadPolicy = metrics.SwitchingOverhead(c.Policy.Makespan, c.Batch.Makespan)

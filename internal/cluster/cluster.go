@@ -344,7 +344,7 @@ func (c *Cluster) CrashNode(id int, downtime sim.Duration) {
 	n.Kernel.CrashReset()
 	n.VM.Crash()
 	n.Disk.Reset()
-	c.Eng.Schedule(downtime, func() { c.restoreNode(id) })
+	c.Eng.ScheduleDetached(downtime, func() { c.restoreNode(id) })
 }
 
 // restoreNode cold-starts a crashed node and, once no node remains
@@ -438,6 +438,13 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 	}
 	c.sched.Start()
 	deadline := c.Eng.Now().Add(limit)
+	// Pre-size the trace bins for the whole run so recording never
+	// reallocates on the disk-transfer path.
+	for _, n := range c.Nodes {
+		if n.Rec != nil {
+			n.Rec.Reserve(deadline)
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err

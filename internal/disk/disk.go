@@ -409,7 +409,7 @@ func (d *Disk) serve(r *Request, attempt int) {
 				})
 			}
 			epoch := d.epoch
-			d.eng.Schedule(back, func() {
+			d.eng.ScheduleDetached(back, func() {
 				if d.epoch != epoch {
 					return // node crashed while backing off
 				}
@@ -447,7 +447,7 @@ func (d *Disk) serve(r *Request, attempt int) {
 		d.stats.PagesRead += int64(pages)
 	}
 	epoch := d.epoch
-	d.eng.Schedule(svc, func() {
+	d.eng.ScheduleDetached(svc, func() {
 		if d.epoch != epoch {
 			return // node crashed mid-transfer: the request is gone
 		}
@@ -505,42 +505,59 @@ func (d *Disk) scanPick() int {
 }
 
 // Coalesce turns an arbitrary slot list into a minimal sorted set of
-// contiguous runs. Duplicate slots are collapsed.
+// contiguous runs. Duplicate slots are collapsed. The input is left
+// untouched; hot paths that own their slot buffer should use
+// AppendCoalesced to avoid the defensive copy.
 func Coalesce(slots []Slot) []Run {
 	if len(slots) == 0 {
 		return nil
 	}
 	s := append([]Slot(nil), slots...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	var runs []Run
-	cur := Run{Start: s[0], N: 1}
-	for _, sl := range s[1:] {
+	return AppendCoalesced(nil, s)
+}
+
+// AppendCoalesced coalesces slots into contiguous runs appended to dst,
+// which is returned like append. Unlike Coalesce it sorts slots in place,
+// so the caller must own the buffer; reusing dst across calls makes the
+// page-out and read-in hot paths allocation-free.
+func AppendCoalesced(dst []Run, slots []Slot) []Run {
+	if len(slots) == 0 {
+		return dst
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	cur := Run{Start: slots[0], N: 1}
+	for _, sl := range slots[1:] {
 		switch {
 		case sl == cur.End()-1: // duplicate
 		case sl == cur.End():
 			cur.N++
 		default:
-			runs = append(runs, cur)
+			dst = append(dst, cur)
 			cur = Run{Start: sl, N: 1}
 		}
 	}
-	return append(runs, cur)
+	return append(dst, cur)
 }
 
 // SplitRuns caps each run at maxPages, splitting longer extents. Used to
 // bound single-transaction sizes.
 func SplitRuns(runs []Run, maxPages int) []Run {
+	return AppendSplitRuns(nil, runs, maxPages)
+}
+
+// AppendSplitRuns appends runs to dst with each extent capped at maxPages,
+// returning dst like append. runs and dst must not alias.
+func AppendSplitRuns(dst []Run, runs []Run, maxPages int) []Run {
 	if maxPages <= 0 {
 		panic("disk: SplitRuns with non-positive cap")
 	}
-	var out []Run
 	for _, r := range runs {
 		for r.N > maxPages {
-			out = append(out, Run{Start: r.Start, N: maxPages})
+			dst = append(dst, Run{Start: r.Start, N: maxPages})
 			r.Start += Slot(maxPages)
 			r.N -= maxPages
 		}
-		out = append(out, r)
+		dst = append(dst, r)
 	}
-	return out
+	return dst
 }

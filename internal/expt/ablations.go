@@ -27,18 +27,23 @@ func BGFractionSweep(cfg Config, fractions []float64) ([]SweepPoint, error) {
 		fractions = []float64{0.02, 0.05, 0.10, 0.20, 0.40, 0.70}
 	}
 	m := workload.MustGet(workload.LU, workload.ClassB, 1)
-	batch, err := cfg.RunPair(m, core.Orig, gang.Batch)
+	// Task 0 is the batch baseline; task i+1 runs fraction i. All are
+	// independent, so the whole sweep fans out at once.
+	results, err := mapN(cfg, 1+len(fractions), func(i int) (metrics.RunResult, error) {
+		if i == 0 {
+			return cfg.RunPair(m, core.Orig, gang.Batch)
+		}
+		c := cfg
+		c.BGWriteFraction = fractions[i-1]
+		return c.RunPair(m, core.SOAOBG, gang.Gang)
+	})
 	if err != nil {
 		return nil, err
 	}
+	batch := results[0]
 	var out []SweepPoint
-	for _, f := range fractions {
-		c := cfg
-		c.BGWriteFraction = f
-		run, err := c.RunPair(m, core.SOAOBG, gang.Gang)
-		if err != nil {
-			return nil, err
-		}
+	for i, f := range fractions {
+		run := results[i+1]
 		out = append(out, SweepPoint{
 			X:             f,
 			CompletionSec: run.Makespan.Seconds(),
@@ -57,33 +62,40 @@ func ReadAheadSweep(cfg Config, sizes []int) ([]SweepPoint, error) {
 		sizes = []int{4, 16, 64, 256, 1024}
 	}
 	m := workload.MustGet(workload.LU, workload.ClassB, 1)
-	batch, err := cfg.RunPair(m, core.Orig, gang.Batch)
-	if err != nil {
-		return nil, err
-	}
-	var out []SweepPoint
-	for _, ra := range sizes {
+	results, err := mapN(cfg, 1+len(sizes), func(i int) (metrics.RunResult, error) {
+		if i == 0 {
+			return cfg.RunPair(m, core.Orig, gang.Batch)
+		}
+		ra := sizes[i-1]
 		nc := cluster.DefaultNodeConfig()
 		nc.LockedMB = nc.MemoryMB - m.AvailMB
 		nc.VM.ReadAhead = ra
 		cl, err := cluster.New(cfg.Seed, 1, nc, core.Orig, core.Config{})
 		if err != nil {
-			return nil, err
+			return metrics.RunResult{}, err
 		}
-		for i := 1; i <= 2; i++ {
+		for j := 1; j <= 2; j++ {
 			if _, err := cl.AddJob(cluster.JobSpec{
-				Name:     fmt.Sprintf("LU-%d", i),
+				Name:     fmt.Sprintf("LU-%d", j),
 				Behavior: m.Behavior(),
 				Quantum:  cfg.Quantum,
 			}); err != nil {
-				return nil, err
+				return metrics.RunResult{}, err
 			}
 		}
 		cl.BuildScheduler(gang.Options{BGWriteFraction: cfg.BGWriteFraction})
 		if err := cl.Run(cfg.TimeLimit); err != nil {
-			return nil, err
+			return metrics.RunResult{}, err
 		}
-		res := metrics.Collect(cl, fmt.Sprintf("ra=%d", ra))
+		return metrics.Collect(cl, fmt.Sprintf("ra=%d", ra)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	batch := results[0]
+	var out []SweepPoint
+	for i, ra := range sizes {
+		res := results[i+1]
 		out = append(out, SweepPoint{
 			X:             float64(ra),
 			CompletionSec: res.Makespan.Seconds(),
@@ -104,18 +116,21 @@ func QuantumSweep(cfg Config, quanta []sim.Duration) ([]SweepPoint, error) {
 		}
 	}
 	m := workload.MustGet(workload.LU, workload.ClassB, 1)
-	batch, err := cfg.RunPair(m, core.Orig, gang.Batch)
+	results, err := mapN(cfg, 1+len(quanta), func(i int) (metrics.RunResult, error) {
+		if i == 0 {
+			return cfg.RunPair(m, core.Orig, gang.Batch)
+		}
+		c := cfg
+		c.Quantum = quanta[i-1]
+		return c.RunPair(m, core.Orig, gang.Gang)
+	})
 	if err != nil {
 		return nil, err
 	}
+	batch := results[0]
 	var out []SweepPoint
-	for _, q := range quanta {
-		c := cfg
-		c.Quantum = q
-		run, err := c.RunPair(m, core.Orig, gang.Gang)
-		if err != nil {
-			return nil, err
-		}
+	for i, q := range quanta {
+		run := results[i+1]
 		out = append(out, SweepPoint{
 			X:             q.Seconds(),
 			CompletionSec: run.Makespan.Seconds(),
@@ -167,14 +182,14 @@ func MemoryPressure(cfg Config) (MemoryPressureResult, error) {
 		}
 		return metrics.Collect(cl, "orig").Makespan, nil
 	}
-	small, err := run(128)
+	sizes := []int{128, 256}
+	results, err := mapN(cfg, len(sizes), func(i int) (sim.Duration, error) {
+		return run(sizes[i])
+	})
 	if err != nil {
 		return MemoryPressureResult{}, err
 	}
-	large, err := run(256)
-	if err != nil {
-		return MemoryPressureResult{}, err
-	}
+	small, large := results[0], results[1]
 	return MemoryPressureResult{
 		SmallMemSec: small.Seconds(),
 		LargeMemSec: large.Seconds(),

@@ -55,22 +55,25 @@ func BlockPagingStudy(cfg Config) ([]BlockPagingRow, error) {
 		return metrics.Collect(cl, scheme), nil
 	}
 
-	batch, err := run("batch", core.Orig, gang.Batch, 0, 0)
+	schemes := []struct {
+		name       string
+		features   core.Features
+		mode       gang.Mode
+		ra, clOut  int
+	}{
+		{"batch", core.Orig, gang.Batch, 0, 0},
+		{"orig", core.Orig, gang.Gang, 0, 0},
+		{"block", core.Orig, gang.Gang, 128, 128},
+		{"adaptive", core.SOAOAIBG, gang.Gang, 0, 0},
+	}
+	results, err := mapN(cfg, len(schemes), func(i int) (metrics.RunResult, error) {
+		s := schemes[i]
+		return run(s.name, s.features, s.mode, s.ra, s.clOut)
+	})
 	if err != nil {
 		return nil, err
 	}
-	orig, err := run("orig", core.Orig, gang.Gang, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	block, err := run("block", core.Orig, gang.Gang, 128, 128)
-	if err != nil {
-		return nil, err
-	}
-	adaptive, err := run("adaptive", core.SOAOAIBG, gang.Gang, 0, 0)
-	if err != nil {
-		return nil, err
-	}
+	batch, orig, block, adaptive := results[0], results[1], results[2], results[3]
 
 	row := func(name string, res metrics.RunResult) BlockPagingRow {
 		return BlockPagingRow{

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/gang"
 	"repro/internal/metrics"
 	"repro/internal/proc"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -26,6 +28,12 @@ type Config struct {
 	TimeLimit sim.Duration
 	// TraceBin enables per-node activity recording when positive.
 	TraceBin sim.Duration
+	// Parallel bounds how many independent simulation runs execute
+	// concurrently: 0 means one worker per CPU, 1 forces serial
+	// execution. Every run owns its engine and RNG, and results are
+	// assembled in submission order, so the output is byte-identical at
+	// any setting.
+	Parallel int
 }
 
 // DefaultConfig returns the paper's experimental settings.
@@ -121,6 +129,31 @@ func (c Config) RunPairTraced(m workload.Model, features core.Features, mode gan
 	return metrics.Collect(cl, label), cl.Nodes[0].Rec, nil
 }
 
+// mapN fans f out over [0, n) on the configured worker count and returns
+// the results in index order. It is the single funnel every experiment's
+// independent runs go through.
+func mapN[T any](c Config, n int, f func(i int) (T, error)) ([]T, error) {
+	return runner.Map(context.Background(), c.Parallel, n, func(_ context.Context, i int) (T, error) {
+		return f(i)
+	})
+}
+
+// pairRun names one RunPair invocation inside a batch.
+type pairRun struct {
+	m        workload.Model
+	features core.Features
+	mode     gang.Mode
+}
+
+// runPairs executes the listed runs concurrently and returns their
+// results in submission order.
+func (c Config) runPairs(runs []pairRun) ([]metrics.RunResult, error) {
+	return mapN(c, len(runs), func(i int) (metrics.RunResult, error) {
+		r := runs[i]
+		return c.RunPair(r.m, r.features, r.mode)
+	})
+}
+
 // AppResult is one row of the Figure 7 / Figure 8 style tables.
 type AppResult struct {
 	App   workload.App
@@ -138,26 +171,42 @@ type AppResult struct {
 
 // comparePair runs batch, orig and full-adaptive for one model.
 func (c Config) comparePair(m workload.Model) (AppResult, error) {
-	batch, err := c.RunPair(m, core.Orig, gang.Batch)
+	rows, err := c.compareAll([]workload.Model{m})
 	if err != nil {
 		return AppResult{}, err
 	}
-	orig, err := c.RunPair(m, core.Orig, gang.Gang)
+	return rows[0], nil
+}
+
+// compareAll runs the batch / orig / full-adaptive triple for every model,
+// fanning all 3×len(models) independent runs across the worker pool at
+// once, and assembles one AppResult per model in input order.
+func (c Config) compareAll(models []workload.Model) ([]AppResult, error) {
+	runs := make([]pairRun, 0, 3*len(models))
+	for _, m := range models {
+		runs = append(runs,
+			pairRun{m, core.Orig, gang.Batch},
+			pairRun{m, core.Orig, gang.Gang},
+			pairRun{m, core.SOAOAIBG, gang.Gang},
+		)
+	}
+	results, err := c.runPairs(runs)
 	if err != nil {
-		return AppResult{}, err
+		return nil, err
 	}
-	adpt, err := c.RunPair(m, core.SOAOAIBG, gang.Gang)
-	if err != nil {
-		return AppResult{}, err
+	out := make([]AppResult, len(models))
+	for i, m := range models {
+		batch, orig, adpt := results[3*i], results[3*i+1], results[3*i+2]
+		r := AppResult{
+			App: m.App, Class: m.Class, Ranks: m.Ranks,
+			BatchSec:    batch.Makespan.Seconds(),
+			OrigSec:     orig.Makespan.Seconds(),
+			AdaptiveSec: adpt.Makespan.Seconds(),
+		}
+		r.OrigOverhead = metrics.SwitchingOverhead(orig.Makespan, batch.Makespan)
+		r.AdaptiveOverhead = metrics.SwitchingOverhead(adpt.Makespan, batch.Makespan)
+		r.Reduction = metrics.PagingReduction(orig.Makespan, adpt.Makespan, batch.Makespan)
+		out[i] = r
 	}
-	r := AppResult{
-		App: m.App, Class: m.Class, Ranks: m.Ranks,
-		BatchSec:    batch.Makespan.Seconds(),
-		OrigSec:     orig.Makespan.Seconds(),
-		AdaptiveSec: adpt.Makespan.Seconds(),
-	}
-	r.OrigOverhead = metrics.SwitchingOverhead(orig.Makespan, batch.Makespan)
-	r.AdaptiveOverhead = metrics.SwitchingOverhead(adpt.Makespan, batch.Makespan)
-	r.Reduction = metrics.PagingReduction(orig.Makespan, adpt.Makespan, batch.Makespan)
-	return r, nil
+	return out, nil
 }

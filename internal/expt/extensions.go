@@ -26,7 +26,7 @@ type ScalingResult struct {
 // and the adaptive mechanisms' benefit — fades out.
 func ScalingStudy(cfg Config) ([]ScalingResult, error) {
 	cfg.fillDefaults()
-	var out []ScalingResult
+	var models []workload.Model
 	for _, spec := range []struct {
 		class workload.Class
 		ranks int
@@ -41,17 +41,21 @@ func ScalingStudy(cfg Config) ([]ScalingResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := cfg.comparePair(m)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ScalingResult{
-			Ranks:       spec.ranks,
+		models = append(models, m)
+	}
+	rows, err := cfg.compareAll(models)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalingResult, len(rows))
+	for i, r := range rows {
+		out[i] = ScalingResult{
+			Ranks:       models[i].Ranks,
 			BatchSec:    r.BatchSec,
 			OrigSec:     r.OrigSec,
 			AdaptiveSec: r.AdaptiveSec,
 			Reduction:   r.Reduction,
-		})
+		}
 	}
 	return out, nil
 }
@@ -67,35 +71,42 @@ func WSHintSweep(cfg Config, fractions []float64) ([]SweepPoint, error) {
 		fractions = []float64{0, 0.25, 0.5, 1.0, 1.5, 2.0}
 	}
 	m := workload.MustGet(workload.LU, workload.ClassB, 1)
-	batch, err := cfg.RunPair(m, core.Orig, gang.Batch)
-	if err != nil {
-		return nil, err
-	}
 	trueWS := m.Behavior().WorkingSetPages()
-	var out []SweepPoint
-	for _, f := range fractions {
+	results, err := mapN(cfg, 1+len(fractions), func(i int) (metrics.RunResult, error) {
+		if i == 0 {
+			return cfg.RunPair(m, core.Orig, gang.Batch)
+		}
+		f := fractions[i-1]
 		nc := cluster.DefaultNodeConfig()
 		nc.LockedMB = nc.MemoryMB - m.AvailMB
 		cl, err := cluster.New(cfg.Seed, 1, nc, core.SOAOAIBG, core.Config{})
 		if err != nil {
-			return nil, err
+			return metrics.RunResult{}, err
 		}
-		for i := 1; i <= 2; i++ {
+		for j := 1; j <= 2; j++ {
 			job, err := cl.AddJob(cluster.JobSpec{
-				Name:     fmt.Sprintf("LU-%d", i),
+				Name:     fmt.Sprintf("LU-%d", j),
 				Behavior: m.Behavior(),
 				Quantum:  cfg.Quantum,
 			})
 			if err != nil {
-				return nil, err
+				return metrics.RunResult{}, err
 			}
 			job.WSHintPages = int(f * float64(trueWS))
 		}
 		cl.BuildScheduler(gang.Options{BGWriteFraction: cfg.BGWriteFraction})
 		if err := cl.Run(cfg.TimeLimit); err != nil {
-			return nil, err
+			return metrics.RunResult{}, err
 		}
-		res := metrics.Collect(cl, fmt.Sprintf("hint=%.2f", f))
+		return metrics.Collect(cl, fmt.Sprintf("hint=%.2f", f)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	batch := results[0]
+	var out []SweepPoint
+	for i, f := range fractions {
+		res := results[i+1]
 		out = append(out, SweepPoint{
 			X:             f,
 			CompletionSec: res.Makespan.Seconds(),
@@ -121,46 +132,53 @@ type DiskModelComparison struct {
 func DiskModelAblation(cfg Config) ([]DiskModelComparison, error) {
 	cfg.fillDefaults()
 	m := workload.MustGet(workload.LU, workload.ClassB, 1)
-	var out []DiskModelComparison
-	for _, mode := range []string{"binary", "positional"} {
+	modes := []string{"binary", "positional"}
+	type setup struct {
+		mode     string
+		features core.Features
+		sched    gang.Mode
+	}
+	var setups []setup
+	for _, mode := range modes {
+		setups = append(setups,
+			setup{mode, core.Orig, gang.Batch},
+			setup{mode, core.Orig, gang.Gang},
+			setup{mode, core.SOAOAIBG, gang.Gang},
+		)
+	}
+	results, err := mapN(cfg, len(setups), func(i int) (float64, error) {
+		s := setups[i]
 		nc := cluster.DefaultNodeConfig()
 		nc.LockedMB = nc.MemoryMB - m.AvailMB
-		if mode == "positional" {
+		if s.mode == "positional" {
 			nc.Disk = disk.PositionalParams()
 		}
-		run := func(features core.Features, sched gang.Mode) (float64, error) {
-			cl, err := cluster.New(cfg.Seed, 1, nc, features, core.Config{})
-			if err != nil {
+		cl, err := cluster.New(cfg.Seed, 1, nc, s.features, core.Config{})
+		if err != nil {
+			return 0, err
+		}
+		for j := 1; j <= 2; j++ {
+			if _, err := cl.AddJob(cluster.JobSpec{
+				Name:       fmt.Sprintf("LU-%d", j),
+				Behavior:   m.Behavior(),
+				Quantum:    cfg.Quantum,
+				PassWSHint: true,
+			}); err != nil {
 				return 0, err
 			}
-			for i := 1; i <= 2; i++ {
-				if _, err := cl.AddJob(cluster.JobSpec{
-					Name:       fmt.Sprintf("LU-%d", i),
-					Behavior:   m.Behavior(),
-					Quantum:    cfg.Quantum,
-					PassWSHint: true,
-				}); err != nil {
-					return 0, err
-				}
-			}
-			cl.BuildScheduler(gang.Options{Mode: sched, BGWriteFraction: cfg.BGWriteFraction})
-			if err := cl.Run(cfg.TimeLimit); err != nil {
-				return 0, err
-			}
-			return metrics.Collect(cl, mode).Makespan.Seconds(), nil
 		}
-		batch, err := run(core.Orig, gang.Batch)
-		if err != nil {
-			return nil, err
+		cl.BuildScheduler(gang.Options{Mode: s.sched, BGWriteFraction: cfg.BGWriteFraction})
+		if err := cl.Run(cfg.TimeLimit); err != nil {
+			return 0, err
 		}
-		orig, err := run(core.Orig, gang.Gang)
-		if err != nil {
-			return nil, err
-		}
-		adpt, err := run(core.SOAOAIBG, gang.Gang)
-		if err != nil {
-			return nil, err
-		}
+		return metrics.Collect(cl, s.mode).Makespan.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []DiskModelComparison
+	for i, mode := range modes {
+		batch, orig, adpt := results[3*i], results[3*i+1], results[3*i+2]
 		red := 0.0
 		if orig > batch {
 			red = 1 - (adpt-batch)/(orig-batch)

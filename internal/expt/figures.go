@@ -19,19 +19,15 @@ import (
 // batch and versus the original policy (Figure 7 a-c).
 func Figure7(cfg Config) ([]AppResult, error) {
 	cfg.fillDefaults()
-	var out []AppResult
+	models := make([]workload.Model, 0, len(workload.Apps()))
 	for _, app := range workload.Apps() {
 		m, err := workload.Get(app, workload.ClassB, 1)
 		if err != nil {
 			return nil, err
 		}
-		r, err := cfg.comparePair(m)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+		models = append(models, m)
 	}
-	return out, nil
+	return cfg.compareAll(models)
 }
 
 // ---------------------------------------------------------------- Figure 8
@@ -67,15 +63,7 @@ func Figure8(cfg Config, ranks int) ([]AppResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []AppResult
-	for _, m := range models {
-		r, err := cfg.comparePair(m)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return cfg.compareAll(models)
 }
 
 // ---------------------------------------------------------------- Figure 9
@@ -105,21 +93,31 @@ func Figure9Setups() []Figure9Setup {
 }
 
 // Figure9 runs LU under every policy combination of §4.3 on each setup.
+// All (setup × policy) runs — plus the per-setup batch baselines — are
+// independent and fan out across the worker pool in one batch.
 func Figure9(cfg Config) (map[string][]PolicyResult, error) {
 	cfg.fillDefaults()
-	out := make(map[string][]PolicyResult)
-	for _, setup := range Figure9Setups() {
-		batch, err := cfg.RunPair(setup.Model, core.Orig, gang.Batch)
-		if err != nil {
-			return nil, err
+	setups := Figure9Setups()
+	combos := core.PaperCombos()
+	perSetup := 1 + len(combos) // batch baseline first, then each combo
+	runs := make([]pairRun, 0, len(setups)*perSetup)
+	for _, setup := range setups {
+		runs = append(runs, pairRun{setup.Model, core.Orig, gang.Batch})
+		for _, combo := range combos {
+			runs = append(runs, pairRun{setup.Model, combo, gang.Gang})
 		}
+	}
+	results, err := cfg.runPairs(runs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]PolicyResult)
+	for si, setup := range setups {
+		batch := results[si*perSetup]
 		var origMake sim.Duration
 		var rows []PolicyResult
-		for _, combo := range core.PaperCombos() {
-			run, err := cfg.RunPair(setup.Model, combo, gang.Gang)
-			if err != nil {
-				return nil, err
-			}
+		for ci, combo := range combos {
+			run := results[si*perSetup+1+ci]
 			if !combo.Any() {
 				origMake = run.Makespan
 			}
@@ -171,11 +169,12 @@ func Figure6(cfg Config, window sim.Duration) ([]TraceResult, error) {
 		cfg.TraceBin = sim.Second
 	}
 	m := workload.MustGet(workload.LU, workload.ClassC, 4)
-	var out []TraceResult
-	for _, features := range Figure6Policies() {
+	policies := Figure6Policies()
+	return mapN(cfg, len(policies), func(i int) (TraceResult, error) {
+		features := policies[i]
 		cl, err := cfg.buildPair(m, features, gang.Gang)
 		if err != nil {
-			return nil, err
+			return TraceResult{}, err
 		}
 		cl.Scheduler().Start()
 		cl.Eng.RunFor(window)
@@ -186,7 +185,6 @@ func Figure6(cfg Config, window sim.Duration) ([]TraceResult, error) {
 		s := cl.Nodes[0].Rec.Series(cluster.SeriesPageInKB)
 		tr.ActiveSeconds = s.ActiveBins(64)
 		tr.PeakKBps = s.Max()
-		out = append(out, tr)
-	}
-	return out, nil
+		return tr, nil
+	})
 }

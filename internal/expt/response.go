@@ -52,18 +52,19 @@ func MixedWorkloadStudy(cfg Config) ([]ResponseRow, error) {
 		mode        gang.Mode
 		memoryAware bool
 	}
-	var out []ResponseRow
-	for _, sc := range []schedCfg{
+	scheds := []schedCfg{
 		{"batch", core.Orig, gang.Batch, false},
 		{"admission-control", core.Orig, gang.Gang, true},
 		{"gang+orig", core.Orig, gang.Gang, false},
 		{"gang+so/ao/ai/bg", core.SOAOAIBG, gang.Gang, false},
-	} {
+	}
+	return mapN(cfg, len(scheds), func(i int) (ResponseRow, error) {
+		sc := scheds[i]
 		nc := cluster.DefaultNodeConfig()
 		nc.LockedMB = nc.MemoryMB - longBeh.AvailMB
 		cl, err := cluster.New(cfg.Seed, 1, nc, sc.features, core.Config{})
 		if err != nil {
-			return nil, err
+			return ResponseRow{}, err
 		}
 		add := func(name string, beh proc.Behavior) error {
 			_, err := cl.AddJob(cluster.JobSpec{
@@ -76,10 +77,10 @@ func MixedWorkloadStudy(cfg Config) ([]ResponseRow, error) {
 		}
 		// The long job is already running; the short job shares the node.
 		if err := add("long", longBeh.Behavior()); err != nil {
-			return nil, err
+			return ResponseRow{}, err
 		}
 		if err := add("short", shortBeh.Behavior()); err != nil {
-			return nil, err
+			return ResponseRow{}, err
 		}
 		cl.BuildScheduler(gang.Options{
 			Mode:            sc.mode,
@@ -87,20 +88,19 @@ func MixedWorkloadStudy(cfg Config) ([]ResponseRow, error) {
 			MemoryAware:     sc.memoryAware,
 		})
 		if err := cl.Run(cfg.TimeLimit); err != nil {
-			return nil, fmt.Errorf("expt: mixed workload under %s: %w", sc.name, err)
+			return ResponseRow{}, fmt.Errorf("expt: mixed workload under %s: %w", sc.name, err)
 		}
 		res := metrics.Collect(cl, sc.name)
 		short, _ := res.CompletionOf("short")
 		long, _ := res.CompletionOf("long")
-		out = append(out, ResponseRow{
+		return ResponseRow{
 			Scheduler:    sc.name,
 			ShortJobSec:  short.Seconds(),
 			LongJobSec:   long.Seconds(),
 			MeanSec:      res.MeanCompletion().Seconds(),
 			PagesMovedGB: float64(res.TotalPagesMoved()) * 4096 / (1 << 30),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatResponse renders the mixed-workload study.

@@ -28,14 +28,15 @@ func SyncStudy(cfg Config) ([]SyncRow, error) {
 	m := workload.MustGet(workload.LU, workload.ClassC, 4)
 	beh := m.Behavior()
 	beh.Jitter = 0.10
-	var out []SyncRow
-	for _, features := range []core.Features{core.Orig, core.SOAOAIBG} {
+	policies := []core.Features{core.Orig, core.SOAOAIBG}
+	return mapN(cfg, len(policies), func(i int) (SyncRow, error) {
+		features := policies[i]
 		cl2, err := cfg.buildPairWithBehavior(m, beh, features, gang.Gang)
 		if err != nil {
-			return nil, err
+			return SyncRow{}, err
 		}
 		if err := cl2.Run(cfg.TimeLimit); err != nil {
-			return nil, fmt.Errorf("expt: sync study %s: %w", features, err)
+			return SyncRow{}, fmt.Errorf("expt: sync study %s: %w", features, err)
 		}
 		var wait float64
 		for _, j := range cl2.Jobs() {
@@ -49,13 +50,12 @@ func SyncStudy(cfg Config) ([]SyncRow, error) {
 				makespan = s
 			}
 		}
-		out = append(out, SyncRow{
+		return SyncRow{
 			Policy:         features.String(),
 			MakespanSec:    makespan,
 			BarrierWaitSec: wait,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // FormatSync renders the synchronization study.

@@ -146,7 +146,7 @@ func (b *Barrier) Arrive(msgBytes int, release func()) {
 	b.arriveTimes = b.arriveTimes[:0]
 	b.arrived = 0
 	b.completions++
-	b.net.eng.Schedule(cost, func() {
+	b.net.eng.ScheduleDetached(cost, func() {
 		for _, w := range waiters {
 			w()
 		}
@@ -169,5 +169,5 @@ func (n *Network) Exchange(msgBytes int, done func()) {
 		panic("mpi: Exchange with nil done")
 	}
 	n.account(msgBytes)
-	n.eng.Schedule(n.Latency+n.TransferTime(msgBytes), done)
+	n.eng.ScheduleDetached(n.Latency+n.TransferTime(msgBytes), done)
 }

@@ -169,6 +169,11 @@ type Process struct {
 
 	stats    Stats
 	onFinish func(*Process)
+
+	// resumeFn is p.resume bound once at construction; passing a method
+	// value allocates a closure per call, and resume is scheduled once per
+	// compute chunk and fault on the simulator's hottest path.
+	resumeFn func()
 }
 
 // New creates a process engine for pid, whose address space must already
@@ -201,6 +206,7 @@ func New(eng *sim.Engine, v *vm.VM, pid int, beh Behavior, barrier *mpi.Barrier,
 		onFinish:   onFinish,
 		iterScale:  1,
 	}
+	p.resumeFn = p.resume
 	p.rollJitter()
 	return p
 }
@@ -284,7 +290,7 @@ func (p *Process) advance() {
 				}
 				p.stats.ComputeTime += cost
 				p.block()
-				p.eng.Schedule(cost, p.resume)
+				p.eng.ScheduleDetached(cost, p.resumeFn)
 				return
 			}
 		case phaseBarrier:
@@ -292,7 +298,7 @@ func (p *Process) advance() {
 			if p.beh.SyncEveryIter {
 				p.stats.BarrierWaits++
 				p.block()
-				p.barrier.Arrive(p.beh.MsgBytes, p.resume)
+				p.barrier.Arrive(p.beh.MsgBytes, p.resumeFn)
 				return
 			}
 		case phaseIterEnd:
@@ -337,7 +343,7 @@ func (p *Process) stepTouch() bool {
 	run := p.v.ResidentRun(p.pid, p.cursor, max)
 	if run == 0 {
 		p.block()
-		p.v.Fault(p.pid, p.cursor, write, p.resume)
+		p.v.Fault(p.pid, p.cursor, write, p.resumeFn)
 		return true
 	}
 	p.v.TouchResident(p.pid, p.cursor, run, write)
@@ -348,7 +354,7 @@ func (p *Process) stepTouch() bool {
 	}
 	p.stats.ComputeTime += cost
 	p.block()
-	p.eng.Schedule(cost, p.resume)
+	p.eng.ScheduleDetached(cost, p.resumeFn)
 	return true
 }
 

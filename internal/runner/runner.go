@@ -1,0 +1,143 @@
+// Package runner fans independent simulation runs out across a bounded
+// pool of worker goroutines.
+//
+// The contract is built for deterministic experiment batches: tasks are
+// indexed, results come back in index order regardless of which worker
+// finished first, and a panicking task is captured as a *PanicError
+// instead of tearing the process down. Each simulation run owns its
+// engine, RNG and cluster, so running them concurrently cannot perturb
+// their outcomes — Map(1, ...) and Map(N, ...) return identical slices.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: positive values pass through,
+// anything else means "one worker per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic that escaped a task.
+type PanicError struct {
+	Index int    // task index that panicked
+	Value any    // the recovered value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs f(ctx, i) for every i in [0, n) on at most workers goroutines
+// (Workers(workers) of them) and returns the n results in index order.
+//
+// On failure Map reports the root-cause error of the lowest failing index —
+// the same error a serial loop would have returned — after cancelling the
+// shared context so in-flight and unstarted tasks are abandoned; tasks cut
+// short by that cancellation are not themselves treated as failures. A task
+// panic is returned as a *PanicError.
+// With workers <= 1 (after Workers resolution, i.e. workers == 1) tasks
+// run serially on the calling goroutine with no pool at all.
+func Map[T any](ctx context.Context, workers, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			v, err := call(ctx, i, f)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = map[int]error{}
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				v, err := call(cctx, i, f)
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		// Report the lowest-indexed root-cause error. A task that dies of
+		// the pool's own cancellation (triggered by a later-scheduled
+		// failure) is collateral, not a cause; a serial loop would have
+		// completed it. Fall back to any cancellation error only when the
+		// parent context itself was cancelled.
+		first, firstAny := -1, -1
+		for i, err := range errs {
+			if firstAny < 0 || i < firstAny {
+				firstAny = i
+			}
+			if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				continue
+			}
+			if first < 0 || i < first {
+				first = i
+			}
+		}
+		if first < 0 {
+			first = firstAny
+		}
+		return out, errs[first]
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// call invokes one task with panic capture.
+func call[T any](ctx context.Context, i int, f func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Index: i, Value: r, Stack: buf}
+		}
+	}()
+	return f(ctx, i)
+}

@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("task ran for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapLowestError(t *testing.T) {
+	// Several tasks fail; Map must report the lowest failing index, the
+	// same error a serial loop would see first.
+	for _, workers := range []int{1, 8} {
+		_, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			if i%10 == 7 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("workers=%d: got %v, want task 7 failure", workers, err)
+		}
+	}
+}
+
+func TestMapPanicCaptured(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 10, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: bad panic error: %+v", workers, pe)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, 4, 100, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 8 {
+		t.Fatalf("cancelled Map still ran %d tasks", n)
+	}
+}
+
+func TestMapErrorCancelsRest(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 2, 1000, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("error did not stop dispatch")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive passthrough broken")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("default must be at least 1")
+	}
+}

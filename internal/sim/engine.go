@@ -9,12 +9,13 @@ import (
 // Event is a scheduled callback. Events are created by Engine.Schedule and
 // Engine.At; holding the returned pointer allows cancellation.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when not queued
-	fired  bool
-	cancel bool
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	fired    bool
+	cancel   bool
+	detached bool // recycled after firing; no caller may hold a pointer
 }
 
 // At reports the time the event is (or was) scheduled to fire.
@@ -72,6 +73,7 @@ type Engine struct {
 	rng    *rand.Rand
 	nRun   uint64 // events executed
 	onStep func(now Time)
+	free   []*Event // recycled detached events
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose RNG is
@@ -124,6 +126,40 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	return ev
 }
 
+// ScheduleDetached queues fn to run after delay, like Schedule, but returns
+// no handle: the event cannot be cancelled, and the engine recycles the
+// event object after it fires. This is the allocation-free path for the
+// simulator's hot loops (page-touch steps, disk transfers, fault service),
+// which schedule millions of events and never cancel them.
+func (e *Engine) ScheduleDetached(delay Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleDetached with negative delay %v at %v", delay, e.now))
+	}
+	e.AtDetached(e.now.Add(delay), fn)
+}
+
+// AtDetached queues fn to run at the absolute time t without returning a
+// cancellable handle; see ScheduleDetached.
+func (e *Engine) AtDetached(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AtDetached(%v) is in the past (now %v)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: AtDetached with nil callback")
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn, index: -1, detached: true}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, index: -1, detached: true}
+	}
+	heap.Push(&e.pq, ev)
+}
+
 // Step fires the next event, advancing the clock to its timestamp. It
 // reports false when the queue is empty (cancelled events are skipped and
 // do not count as a step).
@@ -136,7 +172,15 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		ev.fired = true
 		e.nRun++
-		ev.fn()
+		fn := ev.fn
+		if ev.detached {
+			// Recycle before running fn so a detached event scheduled
+			// from inside the callback can reuse this object; fn is
+			// held locally and ev is off the heap already.
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		fn()
 		if e.onStep != nil {
 			e.onStep(e.now)
 		}

@@ -35,12 +35,50 @@ func (s *Series) Add(t sim.Time, v float64) {
 	if idx < 0 {
 		idx = 0
 	}
-	for idx >= len(s.bins) {
-		s.bins = append(s.bins, 0)
+	if idx >= len(s.bins) {
+		s.grow(idx + 1)
 	}
 	s.bins[idx] += v
 	s.total += v
 	s.n++
+}
+
+// grow extends the bins to length n, growing capacity in chunks so that a
+// run recording hours of simulated time does not reallocate per bin.
+func (s *Series) grow(n int) {
+	if n <= cap(s.bins) {
+		// Re-slicing can expose stale values left behind by Reset.
+		old := len(s.bins)
+		s.bins = s.bins[:n]
+		for i := old; i < n; i++ {
+			s.bins[i] = 0
+		}
+		return
+	}
+	c := 2 * cap(s.bins)
+	if c < 256 {
+		c = 256
+	}
+	if c < n {
+		c = n
+	}
+	bins := make([]float64, n, c)
+	copy(bins, s.bins)
+	s.bins = bins
+}
+
+// Reserve pre-sizes the series to cover simulated time up to horizon, so
+// recording within that span never reallocates. Recorded data is kept.
+func (s *Series) Reserve(horizon sim.Time) {
+	if horizon <= 0 {
+		return
+	}
+	n := int(int64(horizon)/int64(s.BinWidth)) + 1
+	if n > cap(s.bins) {
+		bins := make([]float64, len(s.bins), n)
+		copy(bins, s.bins)
+		s.bins = bins
+	}
 }
 
 // AddSpread distributes v uniformly over [t, t+d), so long transfers show
@@ -122,6 +160,14 @@ func (r *Recorder) Series(name string) *Series {
 	r.series[name] = s
 	r.order = append(r.order, name)
 	return s
+}
+
+// Reserve pre-sizes every existing series to cover simulated time up to
+// horizon; see Series.Reserve.
+func (r *Recorder) Reserve(horizon sim.Time) {
+	for _, s := range r.series {
+		s.Reserve(horizon)
+	}
 }
 
 // Names lists the series in creation order.

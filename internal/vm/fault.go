@@ -73,7 +73,7 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 	// Already resident: minor fault (racing touch), just pay the trap cost.
 	if as.IsResident(vpage) {
 		v.minorFault(as)
-		v.eng.Schedule(v.cfg.FaultOverhead, finish)
+		v.eng.ScheduleDetached(v.cfg.FaultOverhead, finish)
 		return
 	}
 	// Read already in flight (e.g. adaptive page-in prefetch): wait for it.
@@ -100,13 +100,13 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 			v.ensureFree(1)
 			fid, ok := v.phys.Alloc(pid, int32(vpage), v.eng.Now())
 			if !ok {
-				v.eng.Schedule(reclaimRetryDelay, attempt)
+				v.eng.ScheduleDetached(reclaimRetryDelay, attempt)
 				return
 			}
 			v.phys.Frame(fid).Age = uint8(v.cfg.AgeStart)
 			as.frames[vpage] = fid
 			as.resident++
-			v.eng.Schedule(v.cfg.FaultOverhead+v.cfg.ZeroFillCost, finish)
+			v.eng.ScheduleDetached(v.cfg.FaultOverhead+v.cfg.ZeroFillCost, finish)
 		}
 		attempt()
 		return
@@ -119,7 +119,7 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 	if v.obs != nil {
 		v.obs.MajorFaults.Inc()
 	}
-	group := []int{vpage}
+	group := append(v.getGroup(), vpage)
 	for next := vpage + 1; next < as.numPages && len(group) < v.cfg.ReadAhead; next++ {
 		if as.IsResident(next) || as.inFlight[next] || !as.onDisk[next] {
 			break
@@ -146,7 +146,7 @@ func (v *VM) minorFault(as *AddressSpace) {
 // it fires immediately if nothing needed reading.
 func (v *VM) ReadPagesIn(pid int, vpages []int, prio disk.Priority, onDone func()) {
 	as := v.mustProc(pid)
-	var group []int
+	group := v.getGroup()
 	for _, vp := range vpages {
 		if vp < 0 || vp >= as.numPages {
 			panic(fmt.Sprintf("vm: ReadPagesIn vpage %d outside footprint of pid %d", vp, pid))
@@ -157,6 +157,7 @@ func (v *VM) ReadPagesIn(pid int, vpages []int, prio disk.Priority, onDone func(
 		group = append(group, vp)
 	}
 	if len(group) == 0 {
+		v.putGroup(group)
 		if onDone != nil {
 			onDone()
 		}
@@ -177,16 +178,21 @@ const reclaimRetryDelay = 500 * sim.Microsecond
 // retried; pages that become resident through other transfers in the
 // meantime are dropped from the group (their waiters fire with those
 // transfers).
+//
+// readIn owns group: the buffer comes from the VM's pool and is returned to
+// it once no transfer or retry can reference it any longer.
 func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone func()) {
 	// Re-filter: on a retry some pages may have landed via other requests.
-	filtered := make([]int, 0, len(group))
+	filtered := v.getGroup()
 	for _, vp := range group {
 		if !as.IsResident(vp) && !as.inFlight[vp] && as.onDisk[vp] {
 			filtered = append(filtered, vp)
 		}
 	}
+	v.putGroup(group)
 	group = filtered
 	if len(group) == 0 {
+		v.putGroup(group)
 		if onDone != nil {
 			onDone()
 		}
@@ -196,10 +202,11 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone fu
 	if avail < len(group) {
 		if avail < 1 {
 			epoch := v.epoch
-			v.eng.Schedule(reclaimRetryDelay, func() {
+			v.eng.ScheduleDetached(reclaimRetryDelay, func() {
 				if v.epoch != epoch {
 					// Node crashed while waiting for memory: abandon the
 					// read (waiters were resumed by Crash).
+					v.putGroup(group)
 					if onDone != nil {
 						onDone()
 					}
@@ -212,50 +219,49 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone fu
 		group = group[:avail]
 	}
 	now := v.eng.Now()
-	slots := make([]disk.Slot, len(group))
+	slots := v.slotScratch[:0]
 	for i, vp := range group {
 		fid, ok := v.phys.Alloc(as.pid, int32(vp), now)
 		if !ok {
 			// ensureFree guaranteed avail frames; trim to what we got.
 			group = group[:i]
-			slots = slots[:i]
 			break
 		}
 		v.phys.Frame(fid).Age = uint8(v.cfg.AgeStart)
 		as.frames[vp] = fid
 		as.inFlight[vp] = true
-		slots[i] = as.region.SlotFor(vp)
+		slots = append(slots, as.region.SlotFor(vp))
 	}
+	v.slotScratch = slots[:0]
 	if len(group) == 0 {
+		v.putGroup(group)
 		if onDone != nil {
 			onDone()
 		}
 		return
 	}
-	runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
+	// Slots ascend with group (swap regions are contiguous), so coalesced
+	// runs taken in order correspond to ascending chunks of group.
+	runs := v.coalesceSplit(slots)
 
-	// Issue one request per run-chunk; completion marks that chunk's pages.
-	type chunk struct {
-		runs  []disk.Run
-		pages []int
-	}
-	var chunks []chunk
+	// Issue one request per run; completion marks that run's pages. The
+	// group buffer is recycled when the last transfer lands.
+	remaining := len(runs)
 	idx := 0
 	for _, r := range runs {
-		chunks = append(chunks, chunk{runs: []disk.Run{r}, pages: group[idx : idx+r.N]})
+		pages := group[idx : idx+r.N]
 		idx += r.N
-	}
-	remaining := len(chunks)
-	for _, c := range chunks {
-		c := c
 		v.dsk.Submit(&disk.Request{
-			Runs: c.runs,
+			Runs: []disk.Run{r},
 			Prio: prio,
 			Done: func(sim.Duration) {
-				v.completeRead(as, c.pages)
+				v.completeRead(as, pages)
 				remaining--
-				if remaining == 0 && onDone != nil {
-					onDone()
+				if remaining == 0 {
+					v.putGroup(group)
+					if onDone != nil {
+						onDone()
+					}
 				}
 			},
 		})

@@ -16,6 +16,19 @@ type victim struct {
 	vpage int
 }
 
+// aged pairs a virtual page with its frame's last-use time; scratch element
+// for the oldest-first and youngest-first selections.
+type aged struct {
+	vp   int
+	last sim.Time
+}
+
+// dirtyBatch groups one process's dirty victims for a coalesced write-back.
+type dirtyBatch struct {
+	as    *AddressSpace
+	slots []disk.Slot
+}
+
 // ensureFree makes room for an allocation of n frames, running a reclaim
 // pass when free memory would drop below freepages.min — the
 // try_to_free_pages trigger. It reports how many frames are actually free
@@ -46,17 +59,19 @@ func (v *VM) reclaim(target int) int {
 		return 0
 	}
 	v.stats.ReclaimPasses++
-	pass := newReclaimPass()
-	var victims []victim
+	pass := &v.pass
+	pass.reset()
+	victims := v.victimScratch[:0]
 	switch v.policy {
 	case PolicySelective:
-		victims = v.selectSelective(target, pass)
+		victims = v.selectSelective(target, victims, pass)
 	default:
-		victims = v.selectDefault(target, pass)
+		victims = v.selectDefault(target, victims, pass)
 	}
 	if v.cfg.ClusterOut > 1 {
 		victims = v.expandClusters(victims, pass)
 	}
+	v.victimScratch = victims[:0]
 	v.evict(victims, disk.Demand)
 	if v.obs != nil {
 		v.obs.ReclaimPasses.Inc()
@@ -104,27 +119,41 @@ func (v *VM) expandClusters(victims []victim, pass *reclaimPass) []victim {
 
 // reclaimPass tracks pages already chosen during one reclaim pass so that
 // successive sweeps (selective + fallback, or repeated clock sweeps of the
-// same process) never select a page twice before eviction happens.
+// same process) never select a page twice before eviction happens. The VM
+// keeps one instance and resets it per pass, reusing the map storage.
 type reclaimPass struct {
-	taken   map[int]map[int]bool // pid -> vpage set
-	scanned int                  // pages examined across all sweeps of the pass
+	taken   map[int64]struct{} // pid<<32|vpage set
+	perPid  map[int]int        // pages selected per pid
+	scanned int                // pages examined across all sweeps of the pass
 }
 
-func newReclaimPass() *reclaimPass { return &reclaimPass{taken: map[int]map[int]bool{}} }
+func passKey(pid, vp int) int64 { return int64(pid)<<32 | int64(uint32(vp)) }
 
-func (rp *reclaimPass) has(pid, vp int) bool { return rp.taken[pid][vp] }
+func (rp *reclaimPass) reset() {
+	if rp.taken == nil {
+		rp.taken = make(map[int64]struct{})
+		rp.perPid = make(map[int]int)
+	}
+	clear(rp.taken)
+	clear(rp.perPid)
+	rp.scanned = 0
+}
+
+func (rp *reclaimPass) has(pid, vp int) bool {
+	_, ok := rp.taken[passKey(pid, vp)]
+	return ok
+}
 
 func (rp *reclaimPass) add(pid, vp int) {
-	set := rp.taken[pid]
-	if set == nil {
-		set = map[int]bool{}
-		rp.taken[pid] = set
+	k := passKey(pid, vp)
+	if _, ok := rp.taken[k]; !ok {
+		rp.taken[k] = struct{}{}
+		rp.perPid[pid]++
 	}
-	set[vp] = true
 }
 
 // takenFrom reports how many pages of pid this pass has already selected.
-func (rp *reclaimPass) takenFrom(pid int) int { return len(rp.taken[pid]) }
+func (rp *reclaimPass) takenFrom(pid int) int { return rp.perPid[pid] }
 
 // selectDefault implements the Linux 2.2 swap_out heuristic: scanning
 // effort rotates across processes via per-process swap counters. Each scan
@@ -135,10 +164,10 @@ func (rp *reclaimPass) takenFrom(pid int) int { return len(rp.taken[pid]) }
 // (and drained) even while a larger, actively-referenced process would
 // otherwise monopolise the sweep. Fresh pages of the faulting process still
 // get selected once their age drains — the paper's false eviction.
-func (v *VM) selectDefault(target int, pass *reclaimPass) []victim {
-	var out []victim
+func (v *VM) selectDefault(target int, out []victim, pass *reclaimPass) []victim {
+	base := len(out)
 	cycles := 0
-	for len(out) < target && cycles < 3 {
+	for len(out)-base < target && cycles < 3 {
 		pid := v.maxSwapCnt()
 		if pid == 0 {
 			// Cycle exhausted: restart it (bounded per pass so reclaim
@@ -148,7 +177,7 @@ func (v *VM) selectDefault(target int, pass *reclaimPass) []victim {
 			continue
 		}
 		as := v.procs[pid]
-		scanned, _ := v.clockSweep(as, v.swapCnt[pid], target-len(out), &out, pass)
+		scanned, _ := v.clockSweep(as, v.swapCnt[pid], target-(len(out)-base), &out, pass)
 		if scanned == 0 {
 			v.swapCnt[pid] = 0
 			continue
@@ -242,30 +271,27 @@ func (v *VM) clockSweep(as *AddressSpace, scanMax, max int, out *[]victim, pass 
 // victims come from the outgoing process in order of decreasing age; other
 // processes are considered only when the outgoing process has no resident
 // pages left.
-func (v *VM) selectSelective(target int, pass *reclaimPass) []victim {
-	var out []victim
+func (v *VM) selectSelective(target int, out []victim, pass *reclaimPass) []victim {
+	base := len(out)
 	if v.outgoing != 0 {
 		if as := v.procs[v.outgoing]; as != nil {
-			out = v.oldestOf(as, target, pass)
+			out = v.oldestOf(as, target, out, pass)
 		}
 	}
-	if len(out) < target {
-		out = append(out, v.selectDefault(target-len(out), pass)...)
+	if got := len(out) - base; got < target {
+		out = v.selectDefault(target-got, out, pass)
 	}
 	return out
 }
 
-// oldestOf returns up to max of as's resident pages, oldest first, skipping
-// pages the current pass has already selected and marking the ones it takes.
-func (v *VM) oldestOf(as *AddressSpace, max int, pass *reclaimPass) []victim {
+// oldestOf appends up to max of as's resident pages to out, oldest first,
+// skipping pages the current pass has already selected and marking the ones
+// it takes. It returns out like append.
+func (v *VM) oldestOf(as *AddressSpace, max int, out []victim, pass *reclaimPass) []victim {
 	if as.resident == 0 || max <= 0 {
-		return nil
+		return out
 	}
-	type aged struct {
-		vp   int
-		last sim.Time
-	}
-	cand := make([]aged, 0, as.resident)
+	cand := v.agedScratch[:0]
 	for vp, fid := range as.frames {
 		if fid == mem.NoFrame || as.inFlight[vp] || pass.has(as.pid, vp) {
 			continue
@@ -279,12 +305,12 @@ func (v *VM) oldestOf(as *AddressSpace, max int, pass *reclaimPass) []victim {
 		}
 		return cand[i].vp < cand[j].vp
 	})
+	v.agedScratch = cand[:0]
 	if len(cand) > max {
 		cand = cand[:max]
 	}
-	out := make([]victim, len(cand))
-	for i, c := range cand {
-		out[i] = victim{as, c.vp}
+	for _, c := range cand {
+		out = append(out, victim{as, c.vp})
 		pass.add(as.pid, c.vp)
 	}
 	return out
@@ -296,13 +322,12 @@ func (v *VM) oldestOf(as *AddressSpace, max int, pass *reclaimPass) []victim {
 func (v *VM) evict(victims []victim, prio disk.Priority) {
 	// Dirty batches are keyed per owning process but kept in a slice in
 	// first-appearance order: map iteration order would randomise the disk
-	// submission order across runs and break reproducibility.
-	type dirtyBatch struct {
-		as    *AddressSpace
-		slots []disk.Slot
-	}
-	var batches []dirtyBatch
-	batchOf := map[*AddressSpace]int{}
+	// submission order across runs and break reproducibility. The batch
+	// slice and its per-batch slot buffers are VM scratch, reused across
+	// evictions.
+	batches := v.batchScratch[:0]
+	batchOf := v.batchOf
+	clear(batchOf)
 	for _, vi := range victims {
 		as, vp := vi.as, vi.vpage
 		fid := as.frames[vp]
@@ -315,7 +340,14 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 			if !ok {
 				i = len(batches)
 				batchOf[as] = i
-				batches = append(batches, dirtyBatch{as: as})
+				if i < cap(batches) {
+					// Reuse the retired element's slot buffer.
+					batches = batches[:i+1]
+					batches[i].as = as
+					batches[i].slots = batches[i].slots[:0]
+				} else {
+					batches = append(batches, dirtyBatch{as: as})
+				}
 			}
 			batches[i].slots = append(batches[i].slots, as.region.SlotFor(vp))
 			as.onDisk[vp] = true
@@ -344,11 +376,21 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 				Prio:  prio.String(),
 			})
 		}
-		runs := disk.SplitRuns(disk.Coalesce(b.slots), v.cfg.MaxIOPages)
+		runs := v.coalesceSplit(b.slots)
 		for _, r := range runs {
 			v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
 		}
 	}
+	v.batchScratch = batches[:0]
+}
+
+// coalesceSplit coalesces slots (sorting them in place) and splits the runs
+// at the transaction cap, using the VM's run scratch buffers. The returned
+// slice is valid until the next coalesceSplit call; Submit copies each run.
+func (v *VM) coalesceSplit(slots []disk.Slot) []disk.Run {
+	v.runScratch = disk.AppendCoalesced(v.runScratch[:0], slots)
+	v.splitScratch = disk.AppendSplitRuns(v.splitScratch[:0], v.runScratch, v.cfg.MaxIOPages)
+	return v.splitScratch
 }
 
 // ReclaimFrom evicts up to max resident pages of pid, oldest first,
@@ -357,7 +399,9 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 // instantly make room for the incoming working set.
 func (v *VM) ReclaimFrom(pid, max int) int {
 	as := v.mustProc(pid)
-	victims := v.oldestOf(as, max, newReclaimPass())
+	v.pass.reset()
+	victims := v.oldestOf(as, max, v.victimScratch[:0], &v.pass)
+	v.victimScratch = victims[:0]
 	v.evict(victims, disk.Demand)
 	return len(victims)
 }
@@ -396,11 +440,7 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 	// on LastUse (root = oldest of the kept set, displaced by younger
 	// pages). O(dirty·log max) per pass — the daemon runs every ~100 ms,
 	// so a full sort of the dirty set would dominate the simulation.
-	type aged struct {
-		vp   int
-		last sim.Time
-	}
-	heap := make([]aged, 0, max)
+	heap := v.agedScratch[:0]
 	less := func(a, b aged) bool { // min-heap by (last, -vp)
 		if a.last != b.last {
 			return a.last < b.last
@@ -452,7 +492,7 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 			siftDown()
 		}
 	}
-	slots := make([]disk.Slot, 0, len(heap))
+	slots := v.slotScratch[:0]
 	for _, d := range heap {
 		vp := d.vp
 		f := v.phys.Frame(as.frames[vp])
@@ -461,6 +501,8 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 		as.bgClean[vp] = true
 		slots = append(slots, as.region.SlotFor(vp))
 	}
+	v.agedScratch = heap[:0]
+	v.slotScratch = slots[:0]
 	if len(slots) == 0 {
 		return 0
 	}
@@ -488,7 +530,7 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 			Prio:  prio.String(),
 		})
 	}
-	runs := disk.SplitRuns(disk.Coalesce(slots), v.cfg.MaxIOPages)
+	runs := v.coalesceSplit(slots)
 	for _, r := range runs {
 		v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
 	}

@@ -200,6 +200,39 @@ type VM struct {
 	epoch uint64
 
 	stats Stats
+
+	// Scratch buffers reused across hot-path calls. All reclaim, eviction
+	// and read-in work is synchronous within one engine event, so a single
+	// set per VM suffices; groupFree alone is a pool because fault page
+	// groups live until their disk transfers complete.
+	pass          reclaimPass
+	victimScratch []victim
+	agedScratch   []aged
+	slotScratch   []disk.Slot
+	runScratch    []disk.Run
+	splitScratch  []disk.Run
+	batchScratch  []dirtyBatch
+	batchOf       map[*AddressSpace]int
+	groupFree     [][]int
+}
+
+// getGroup takes a page-group buffer from the pool (empty, capacity kept).
+func (v *VM) getGroup() []int {
+	if n := len(v.groupFree); n > 0 {
+		g := v.groupFree[n-1]
+		v.groupFree[n-1] = nil
+		v.groupFree = v.groupFree[:n-1]
+		return g[:0]
+	}
+	return make([]int, 0, 64)
+}
+
+// putGroup returns a page-group buffer to the pool once no transfer or
+// retry closure references it any longer.
+func (v *VM) putGroup(g []int) {
+	if cap(g) > 0 {
+		v.groupFree = append(v.groupFree, g)
+	}
 }
 
 // New assembles a VM over the given physical memory, disk and swap space.
@@ -214,6 +247,7 @@ func New(eng *sim.Engine, phys *mem.Physical, d *disk.Disk, space *swap.Space, c
 		procs:   make(map[int]*AddressSpace),
 		hands:   make(map[int]int),
 		swapCnt: make(map[int]int),
+		batchOf: make(map[*AddressSpace]int),
 	}
 }
 
