@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race soak check bench bench-obs ci clean
+.PHONY: all build vet test race soak audit fuzz check bench bench-obs ci clean
 
 all: build
 
@@ -25,20 +25,38 @@ race:
 soak:
 	$(GO) test -race -count 3 -run 'TestFault|TestNilFault' -v .
 
-# The everything gate: vet, build, race tests, and the serial-vs-parallel
+# Invariant auditor: unit tests for every conservation law, then the fully
+# audited policy matrix (all six paper combinations) and the audited fault
+# soak, all under the race detector.
+audit:
+	$(GO) test -race -count 1 -run 'TestAudit|TestViolation' -v . ./internal/audit
+	$(GO) test -race -count 1 -run 'TestCrashResumeClearsStaleOutgoing' -v ./internal/gang
+
+# Randomised audited runs: fault/workload/policy combinations with a
+# conservation sweep after every engine event. FUZZTIME=10m for a soak.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime $(FUZZTIME) .
+
+# The everything gate: vet, build, race tests, the serial-vs-parallel
 # equivalence test under the race detector (the determinism contract of the
-# parallel experiment runner).
+# parallel experiment runner), the audited policy matrix + fault soak, and
+# a fuzz smoke of randomised audited runs.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestParallelEquivalence|TestWorkloadConcurrent' -count 1 .
+	$(GO) test -race -run 'TestAuditPolicyMatrix|TestAuditFaultSoak' -count 1 .
+	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime 10s .
 
 # Simulator benchmark suite with allocation stats, summarised into the
-# machine-readable BENCH_sim.json (name, ns/op, B/op, allocs/op).
+# machine-readable BENCH_sim.json (name, ns/op, B/op, allocs/op). The
+# PolicyRun/PolicyRunAudited pair yields a derived PolicyRunAuditOverhead
+# record pricing the invariant auditor.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem . | bin/benchjson -o BENCH_sim.json
+	$(GO) test -run NONE -bench 'BenchmarkFig|BenchmarkPolicyRun' -benchtime 1x -benchmem . | bin/benchjson -o BENCH_sim.json
 
 # The obs pair: RunObsDisabled is the zero-overhead claim (parity with the
 # pre-observability baseline), RunObsEnabled prices full capture. Compare

@@ -1,0 +1,65 @@
+// Benchmarks pricing the invariant auditor. BenchmarkPolicyRun /
+// BenchmarkPolicyRunAudited are a pair: cmd/benchjson derives a
+// PolicyRunAuditOverhead record (ns/op difference and percentage) from
+// them, so BENCH_sim.json tracks what Every=1 auditing costs. The
+// disabled path is priced by the plain run — Spec.Audit nil costs one nil
+// check per engine event and allocates nothing.
+package gangsched
+
+import (
+	"testing"
+	"time"
+)
+
+// auditBenchSpec over-commits memory so the audited sweep walks busy page
+// tables, reclaim state and a loaded disk queue — the expensive case.
+func auditBenchSpec() Spec {
+	return Spec{
+		Nodes:    1,
+		MemoryMB: 8,
+		Policy:   "so/ao/ai/bg",
+		Quantum:  time.Second,
+		Jobs: []JobSpec{
+			{Name: "a", Workload: fastJob(1200, 10), HintWorkingSet: true},
+			{Name: "b", Workload: fastJob(1200, 10), HintWorkingSet: true},
+		},
+	}
+}
+
+func BenchmarkPolicyRun(b *testing.B) {
+	spec := auditBenchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyRunAudited(b *testing.B) {
+	spec := auditBenchSpec()
+	spec.Audit = &AuditSpec{Every: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := RunDetailed(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.AuditChecks == 0 {
+			b.Fatal("no sweeps ran")
+		}
+	}
+}
+
+// BenchmarkPolicyRunAuditedSparse prices the sampling middle ground (every
+// 64th event), the setting suggested for long soaks.
+func BenchmarkPolicyRunAuditedSparse(b *testing.B) {
+	spec := auditBenchSpec()
+	spec.Audit = &AuditSpec{Every: 64}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunDetailed(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package gangsched
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAuditPolicyMatrix sweeps every paper policy combination under a
+// memory-over-committed two-job mix with the auditor checking every event.
+// Any conservation-law slip in any mechanism combination fails here with a
+// named invariant instead of a silently skewed figure.
+func TestAuditPolicyMatrix(t *testing.T) {
+	for _, policy := range []string{"orig", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg"} {
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{
+				Nodes:    1,
+				MemoryMB: 8,
+				Policy:   policy,
+				Quantum:  time.Second,
+				Audit:    &AuditSpec{Every: 1},
+				Jobs: []JobSpec{
+					{Name: "a", Workload: fastJob(1200, 10), HintWorkingSet: true},
+					{Name: "b", Workload: fastJob(1200, 10), HintWorkingSet: true},
+				},
+			}
+			h, err := RunDetailed(spec)
+			if err != nil {
+				var v *Violation
+				if errors.As(err, &v) {
+					t.Fatalf("invariant %s violated under %s: %v", v.Invariant, policy, v)
+				}
+				t.Fatal(err)
+			}
+			if h.AuditChecks == 0 {
+				t.Fatal("audited run performed no sweeps")
+			}
+		})
+	}
+}
+
+// TestAuditFaultSoak audits the fault-injection workhorse: node crashes,
+// disk errors, latency spikes and a straggler under the full policy. The
+// crash paths (dropped queues, wiped images, requeued victims) are where
+// conservation bugs hide; every event boundary must still balance.
+func TestAuditFaultSoak(t *testing.T) {
+	spec := faultSoakSpec(nil)
+	spec.Audit = &AuditSpec{Every: 1}
+	h, err := RunDetailed(spec)
+	if err != nil {
+		var v *Violation
+		if errors.As(err, &v) {
+			t.Fatalf("invariant %s violated in the fault soak: %v", v.Invariant, v)
+		}
+		t.Fatal(err)
+	}
+	if h.AuditChecks == 0 {
+		t.Fatal("audited soak performed no sweeps")
+	}
+	if h.Result.Faults.Crashes == 0 {
+		t.Fatal("soak injected no crashes — the audit covered nothing interesting")
+	}
+}
+
+// TestAuditResultUnchanged pins that attaching the auditor does not perturb
+// the simulation: metrics of an audited run equal those of a plain run.
+func TestAuditResultUnchanged(t *testing.T) {
+	base := Spec{
+		Nodes:    1,
+		MemoryMB: 8,
+		Policy:   "so/ao/ai/bg",
+		Quantum:  time.Second,
+		Jobs: []JobSpec{
+			{Name: "a", Workload: fastJob(1000, 8), HintWorkingSet: true},
+			{Name: "b", Workload: fastJob(1000, 8), HintWorkingSet: true},
+		},
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited := base
+	audited.Audit = &AuditSpec{Every: 1}
+	res, err := Run(audited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != res.Makespan {
+		t.Fatalf("auditor changed the makespan: %v vs %v", plain.Makespan, res.Makespan)
+	}
+	for i := range plain.Jobs {
+		if plain.Jobs[i] != res.Jobs[i] {
+			t.Fatalf("auditor changed job metrics:\nplain   %+v\naudited %+v", plain.Jobs[i], res.Jobs[i])
+		}
+	}
+}

@@ -2,7 +2,9 @@
 // stdin into a machine-readable JSON array. Each benchmark line becomes
 // one record with the benchmark name, iterations and the standard
 // per-operation measurements; custom b.ReportMetric units are collected
-// under "metrics".
+// under "metrics". For every Benchmark<X> / Benchmark<X>Audited pair a
+// derived <X>AuditOverhead record prices the invariant auditor (ns/op
+// difference, percentage under metrics.pct).
 //
 // Usage:
 //
@@ -57,6 +59,7 @@ func main() {
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
+	results = append(results, deriveOverheads(results)...)
 
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -71,6 +74,34 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%d benchmark(s) written to %s", len(results), *out)
+}
+
+// deriveOverheads synthesises a `<X>AuditOverhead` record for every
+// `Benchmark<X>` / `Benchmark<X>Audited` pair on the input: ns_op is the
+// absolute cost of auditing one run and metrics.pct the relative slowdown.
+// The derived rows keep auditor pricing in BENCH_sim.json without anyone
+// diffing benchmark lines by hand.
+func deriveOverheads(results []Result) []Result {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var derived []Result
+	for _, r := range results {
+		base, ok := byName[strings.TrimSuffix(r.Name, "Audited")]
+		if !ok || !strings.HasSuffix(r.Name, "Audited") || base.NsPerOp == 0 {
+			continue
+		}
+		derived = append(derived, Result{
+			Name:    base.Name + "AuditOverhead",
+			Iters:   r.Iters,
+			NsPerOp: r.NsPerOp - base.NsPerOp,
+			Metrics: map[string]float64{
+				"pct": 100 * (r.NsPerOp - base.NsPerOp) / base.NsPerOp,
+			},
+		})
+	}
+	return derived
 }
 
 // parseLine decodes one `Benchmark<Name>[-procs] <iters> <value> <unit>...`

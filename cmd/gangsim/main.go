@@ -75,6 +75,8 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -compare baseline runs (0 = one per CPU, 1 = serial)")
+	auditOn := flag.Bool("audit", false, "cross-check simulation invariants (conservation laws) during the run, failing fast on the first violation")
+	auditEvery := flag.Int("audit-every", 0, "audit sweep interval in engine events (0 = every event; implies -audit when positive)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -114,6 +116,9 @@ func run() error {
 			return err
 		}
 		spec.Faults = f
+	}
+	if *auditOn || *auditEvery > 0 {
+		spec.Audit = &gangsched.AuditSpec{Every: *auditEvery}
 	}
 
 	// Observability plumbing: a JSONL sink for -events, a registry for

@@ -44,6 +44,14 @@ type SpecConfig struct {
 	Quantum  string  `json:"quantum,omitempty"`
 	BGFrac   float64 `json:"bgWriteFraction,omitempty"`
 	Traces   bool    `json:"recordTraces,omitempty"`
+	// Watermark and page-out clustering overrides (0 = defaults).
+	FreeMinPages  int `json:"freeMinPages,omitempty"`
+	FreeHighPages int `json:"freeHighPages,omitempty"`
+	ClusterOut    int `json:"clusterOut,omitempty"`
+	// Audit attaches the invariant auditor; AuditEvery sets its sweep
+	// interval in engine events (implies Audit when positive).
+	Audit      bool `json:"audit,omitempty"`
+	AuditEvery int  `json:"auditEvery,omitempty"`
 	// Faults is a fault plan in the -faults flag syntax, e.g.
 	// "crash=n1@12m,downtime=2m;diskerr=0.001".
 	Faults string      `json:"faults,omitempty"`
@@ -79,6 +87,12 @@ func (sc SpecConfig) Spec() (Spec, error) {
 		Batch:           sc.Batch,
 		BGWriteFraction: sc.BGFrac,
 		RecordTraces:    sc.Traces,
+		FreeMinPages:    sc.FreeMinPages,
+		FreeHighPages:   sc.FreeHighPages,
+		ClusterOut:      sc.ClusterOut,
+	}
+	if sc.Audit || sc.AuditEvery > 0 {
+		spec.Audit = &AuditSpec{Every: sc.AuditEvery}
 	}
 	if sc.Quantum != "" {
 		q, err := time.ParseDuration(sc.Quantum)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mem"
 	"repro/internal/obs"
 )
 
@@ -243,6 +244,15 @@ func TestSpecValidateRejects(t *testing.T) {
 		"bad workload":        func(s *Spec) { s.Jobs[0].Workload.Iterations = 0 },
 		"fault node range":    func(s *Spec) { s.Faults = &FaultsSpec{Stragglers: []FaultStraggler{{Node: 9, Factor: 2}}} },
 		"fault bad rate":      func(s *Spec) { s.Faults = &FaultsSpec{DiskErrRate: 1.5} },
+		"negative watermark":  func(s *Spec) { s.FreeMinPages = -1 },
+		"min equals high":     func(s *Spec) { s.FreeMinPages = 64; s.FreeHighPages = 64 },
+		"min above high":      func(s *Spec) { s.FreeMinPages = 96; s.FreeHighPages = 64 },
+		"high above memory":   func(s *Spec) { s.FreeHighPages = mem.PagesFromMB(s.MemoryMB) + 1 },
+		"negative clusterOut": func(s *Spec) { s.ClusterOut = -4 },
+		"zero-page job":       func(s *Spec) { s.Jobs[0].Workload.FootprintPages = 0 },
+		"negative audit every": func(s *Spec) {
+			s.Audit = &AuditSpec{Every: -1}
+		},
 	} {
 		s := observedSpec(nil)
 		s.Jobs = append([]JobSpec(nil), s.Jobs...)

@@ -1,0 +1,63 @@
+package gangsched
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzAuditedRun drives random workload / policy / fault combinations
+// through a fully audited run (a sweep after every engine event). Specs the
+// validator rejects are uninteresting; runs cut short by the time limit are
+// fine; an invariant Violation — or any other failure of a valid spec — is
+// a conservation bug.
+func FuzzAuditedRun(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(300), uint8(4), uint8(5), uint8(0), false)
+	f.Add(int64(2), uint8(1), uint16(1150), uint8(8), uint8(0), uint8(3), true)
+	f.Add(int64(3), uint8(7), uint16(700), uint8(2), uint8(3), uint8(9), true)
+	f.Add(int64(99), uint8(3), uint16(64), uint8(12), uint8(2), uint8(7), false)
+
+	policies := []string{"orig", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg"}
+	f.Fuzz(func(t *testing.T, seed int64, memB uint8, pagesU uint16, itersB, policyB, quantumB uint8, faults bool) {
+		nodes := 1 + int(seed&1)
+		spec := Spec{
+			Seed:      seed,
+			Nodes:     nodes,
+			MemoryMB:  4 + int(memB%8),
+			Policy:    policies[int(policyB)%len(policies)],
+			Quantum:   time.Duration(100+int(quantumB)*20) * time.Millisecond,
+			TimeLimit: 30 * time.Minute,
+			Audit:     &AuditSpec{Every: 1},
+			Jobs: []JobSpec{
+				{Name: "a", Workload: fastJob(100+int(pagesU)%1100, 1+int(itersB)%12), HintWorkingSet: true},
+				{Name: "b", Workload: fastJob(100+int(pagesU*3)%1100, 1+int(itersB)%12), HintWorkingSet: true},
+			},
+		}
+		if faults {
+			spec.Faults = &FaultsSpec{
+				DiskErrRate:  float64(memB%4) / 100,
+				DiskSlowRate: float64(itersB%4) / 100,
+				Crashes: []FaultCrash{
+					{Node: int(policyB) % nodes, At: time.Duration(1+quantumB%5) * time.Second, Downtime: 2 * time.Second},
+				},
+			}
+		}
+		if err := spec.Validate(); err != nil {
+			t.Skipf("spec rejected: %v", err)
+		}
+		h, err := RunDetailed(spec)
+		if err != nil {
+			var v *Violation
+			if errors.As(err, &v) {
+				t.Fatalf("invariant %s violated: %v", v.Invariant, v)
+			}
+			if errors.Is(err, ErrTimeLimit) {
+				return // bounded run, books balanced at every checked step
+			}
+			t.Fatalf("valid spec failed: %v", err)
+		}
+		if h.AuditChecks == 0 {
+			t.Fatal("audited run performed no sweeps")
+		}
+	})
+}

@@ -36,9 +36,11 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/mem"
 	"repro/internal/gang"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -118,6 +120,21 @@ type Spec struct {
 	MemoryMB int // physical memory per node (default 1024)
 	LockedMB int // memory wired down to force over-commit
 
+	// FreeMinPages / FreeHighPages override the per-node reclaim
+	// watermarks; zero picks Linux-2.2-style defaults scaled to memory
+	// size. When both are set, min must be strictly below high — equal
+	// watermarks make every reclaim burst start and stop on the same
+	// boundary, which the invariant auditor would immediately flag as a
+	// wedged free-list.
+	FreeMinPages  int
+	FreeHighPages int
+
+	// ClusterOut, when > 1, enables blind block page-out: every reclaim
+	// victim is expanded with up to ClusterOut-1 contiguous cold
+	// neighbours (see vm.Config.ClusterOut). Zero leaves the default
+	// (no clustering); values below 1 are rejected by Validate.
+	ClusterOut int
+
 	// Policy is the adaptive paging combination in the paper's notation:
 	// "orig", "ai", "so", "so/ao", "so/ao/bg" or "so/ao/ai/bg".
 	Policy string
@@ -146,7 +163,28 @@ type Spec struct {
 	// spikes, and straggler nodes. Injection is deterministic under Seed
 	// and never touches the model RNG, so a nil plan changes nothing.
 	Faults *FaultsSpec
+
+	// Audit, when non-nil, attaches the invariant auditor: the run's
+	// conservation laws (internal/audit, DESIGN.md §9) are re-derived
+	// every AuditSpec.Every engine events and the run fails fast with a
+	// *Violation on the first divergence. Nil disables auditing — the
+	// zero-overhead default (one nil check per engine step).
+	Audit *AuditSpec
 }
+
+// AuditSpec tunes the invariant auditor (see internal/audit).
+type AuditSpec struct {
+	// Every is the sweep interval in engine events (0 or 1 audits after
+	// every event; larger values trade detection latency for speed).
+	Every int
+	// TraceTail bounds the observability-event tail attached to a
+	// violation report (0 picks the default of 32; negative disables).
+	TraceTail int
+}
+
+// Violation is a broken conservation law reported by the auditor; run
+// errors match it under errors.As.
+type Violation = audit.Violation
 
 // Validate checks the spec without running it. Run and RunContext call
 // it first, so malformed specs yield errors instead of panics from deep
@@ -173,6 +211,25 @@ func (s Spec) Validate() error {
 	}
 	if s.LockedMB < 0 || s.LockedMB >= memMB {
 		return fmt.Errorf("gangsched: locked memory %d MB outside [0, %d)", s.LockedMB, memMB)
+	}
+	if s.FreeMinPages < 0 || s.FreeHighPages < 0 {
+		return fmt.Errorf("gangsched: negative reclaim watermark (min %d, high %d)",
+			s.FreeMinPages, s.FreeHighPages)
+	}
+	if s.FreeMinPages > 0 && s.FreeHighPages > 0 && s.FreeMinPages >= s.FreeHighPages {
+		return fmt.Errorf("gangsched: freepages.min %d must be strictly below freepages.high %d",
+			s.FreeMinPages, s.FreeHighPages)
+	}
+	if frames := mem.PagesFromMB(memMB); s.FreeHighPages > frames {
+		return fmt.Errorf("gangsched: freepages.high %d exceeds the %d frames of a %d MB node",
+			s.FreeHighPages, frames, memMB)
+	}
+	if s.ClusterOut != 0 && s.ClusterOut < 1 {
+		return fmt.Errorf("gangsched: cluster-out %d must be at least 1 page (0 leaves the default)",
+			s.ClusterOut)
+	}
+	if s.Audit != nil && s.Audit.Every < 0 {
+		return fmt.Errorf("gangsched: negative audit interval %d", s.Audit.Every)
 	}
 	if s.Quantum < 0 {
 		return fmt.Errorf("gangsched: negative quantum %v", s.Quantum)
@@ -213,6 +270,10 @@ type RunHandle struct {
 	// Metrics is the run's metrics registry when Spec.Observe asked for
 	// Metrics; render it with WriteProm or walk it with Snapshot.
 	Metrics *obs.Registry
+	// AuditChecks counts the invariant sweeps performed when Spec.Audit
+	// was set (every sweep passed, or the run would have failed with a
+	// *Violation instead of producing a handle).
+	AuditChecks int64
 }
 
 // ErrTimeLimit reports that the simulated TimeLimit expired with jobs
@@ -266,6 +327,9 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 		nc.MemoryMB = spec.MemoryMB
 	}
 	nc.LockedMB = spec.LockedMB
+	nc.FreeMinPages = spec.FreeMinPages
+	nc.FreeHighPages = spec.FreeHighPages
+	nc.VM.ClusterOut = spec.ClusterOut
 	if spec.RecordTraces {
 		nc.TraceBin = sim.Second
 	}
@@ -273,7 +337,28 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	setup := spec.Observe.Build()
+	// The auditor wants a short event tail for violation forensics: give it
+	// a private ring appended to a copy of the caller's observe options.
+	// Observability never feeds back into the model, so attaching the ring
+	// cannot perturb an otherwise identical run.
+	obsOpts := spec.Observe
+	var auditRing *obs.Ring
+	if spec.Audit != nil {
+		tail := spec.Audit.TraceTail
+		if tail == 0 {
+			tail = audit.DefaultTraceTail
+		}
+		if tail > 0 {
+			auditRing = obs.NewRing(tail)
+			var o obs.Options
+			if obsOpts != nil {
+				o = *obsOpts
+			}
+			o.Sinks = append(append([]obs.Sink(nil), o.Sinks...), auditRing)
+			obsOpts = &o
+		}
+	}
+	setup := obsOpts.Build()
 	cl.EnableObservability(setup)
 	defQuantum := 5 * time.Minute
 	if spec.Quantum > 0 {
@@ -303,6 +388,14 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 			return nil, err
 		}
 	}
+	var auditor *audit.Auditor
+	if spec.Audit != nil {
+		auditor = audit.Attach(cl, audit.Config{
+			Every:     spec.Audit.Every,
+			TraceTail: spec.Audit.TraceTail,
+			Ring:      auditRing,
+		})
+	}
 	limit := 24 * time.Hour
 	if spec.TimeLimit > 0 {
 		limit = spec.TimeLimit
@@ -327,6 +420,9 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	if setup != nil {
 		h.Events = setup.Events()
 		h.Metrics = setup.Reg
+	}
+	if auditor != nil {
+		h.AuditChecks = auditor.Checks()
 	}
 	return h, runErr
 }

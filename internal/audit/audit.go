@@ -1,0 +1,425 @@
+// Package audit is the simulation-wide invariant auditor: an opt-in
+// cross-check of the conservation laws that the paper's four paging
+// mechanisms (selective/aggressive page-out, adaptive page-in, background
+// writing) all implicitly rely on. Every mechanism is a page-accounting
+// transform, so a single bookkeeping slip silently skews every reproduced
+// figure; the auditor re-derives each counter from first principles after
+// every N simulated events and fails the run on the first divergence.
+//
+// The checks span every layer of a node — frame table (internal/mem),
+// address spaces (internal/vm), swap extents (internal/swap), the paging
+// device (internal/disk) — plus the engine clock (internal/sim) and the
+// gang scheduler (internal/gang). See DESIGN.md §9 for the catalogue of
+// enforced laws and their paper rationale.
+//
+// A sweep is allocation-free after warm-up: scratch buffers are reused and
+// double-mapping detection uses generation stamps instead of maps, so even
+// Every=1 auditing only costs CPU, not garbage. Violations are rare and
+// fatal, so their reports may allocate freely (formatted detail plus a tail
+// of the observability ring for forensics).
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/gang"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Invariant names, as reported in violations (and listed in DESIGN.md §9).
+const (
+	InvFrameConservation = "frame-conservation" // free + locked + mapped == total frames
+	InvResidentCounter   = "resident-counter"   // per-process resident counters match the page table
+	InvFrameLabel        = "frame-label"        // frame ownership label matches the PTE pointing at it
+	InvFrameDoubleMap    = "frame-double-map"   // no frame mapped by two (pid, vpage) pairs
+	InvInFlight          = "in-flight"          // an in-flight page owns a frame and is not counted resident
+	InvSwapAccounting    = "swap-accounting"    // sum of live regions == slots used; free list consistent
+	InvWriteBackPending  = "writeback-pending"  // queued-write aggregate matches per-page counts
+	InvDiskConservation  = "disk-conservation"  // submitted == completed + dropped + queued + in-service
+	InvTimeMonotonic     = "time-monotonic"     // the engine clock never runs backwards
+	InvGangSingleRun     = "gang-single-running" // at most one job's rank runs per node
+	InvGangOutgoing      = "gang-outgoing"      // selective designation never targets the running job
+	InvGangStopped       = "gang-stopped"       // a running rank never carries the stopped mark
+)
+
+// Config tunes an Auditor.
+type Config struct {
+	// Every is the sweep interval in engine events (<= 0 means every event).
+	Every int
+	// TraceTail bounds how many trailing observability events a violation
+	// report carries (0 picks DefaultTraceTail; negative disables).
+	TraceTail int
+	// Ring, when non-nil, supplies the event tail for violation reports.
+	Ring *obs.Ring
+}
+
+// DefaultTraceTail is the violation-report event tail when Config.TraceTail
+// is zero.
+const DefaultTraceTail = 32
+
+// Violation is one broken invariant, caught at an event boundary. It
+// implements error; the run fails fast with it.
+type Violation struct {
+	Invariant string   // which law broke (Inv* constant)
+	Node      int      // node id, -1 for cluster-wide invariants
+	PID       int      // offending process, 0 when not applicable
+	VPage     int      // offending virtual page, -1 when not applicable
+	Frame     int      // offending frame, -1 when not applicable
+	Time      sim.Time // engine clock at detection
+	Detail    string   // human-readable account of the divergence
+	Trace     []obs.Event // tail of the observability ring, oldest first
+}
+
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %s violated at %v", v.Invariant, v.Time)
+	if v.Node >= 0 {
+		fmt.Fprintf(&b, " on node %d", v.Node)
+	}
+	if v.PID > 0 {
+		fmt.Fprintf(&b, " (pid %d", v.PID)
+		if v.VPage >= 0 {
+			fmt.Fprintf(&b, ", vpage %d", v.VPage)
+		}
+		if v.Frame >= 0 {
+			fmt.Fprintf(&b, ", frame %d", v.Frame)
+		}
+		b.WriteString(")")
+	} else if v.Frame >= 0 {
+		fmt.Fprintf(&b, " (frame %d", v.Frame)
+		if v.VPage >= 0 {
+			fmt.Fprintf(&b, ", vpage %d", v.VPage)
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Detail)
+	if n := len(v.Trace); n > 0 {
+		fmt.Fprintf(&b, "\nlast %d events:", n)
+		for _, ev := range v.Trace {
+			fmt.Fprintf(&b, "\n  %v %s node=%d", ev.T, ev.Kind, ev.Node)
+			if ev.PID != 0 {
+				fmt.Fprintf(&b, " pid=%d", ev.PID)
+			}
+			if ev.Pages != 0 {
+				fmt.Fprintf(&b, " pages=%d", ev.Pages)
+			}
+			if ev.Job != "" {
+				fmt.Fprintf(&b, " job=%s", ev.Job)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Auditor sweeps a cluster's conservation laws. Create with New (or wire in
+// one call with Attach) and invoke Check at event boundaries.
+type Auditor struct {
+	c   *cluster.Cluster
+	cfg Config
+
+	checks     int64
+	violations int64
+
+	// Scratch reused across sweeps (the zero-garbage contract). Frame
+	// ownership is tracked with generation stamps: stamp[f] == gen means
+	// frame f was claimed this sweep by (ownerPID[f], ownerVP[f]).
+	pids     []int
+	stamp    []uint32
+	ownerPID []int32
+	ownerVP  []int32
+	gen      uint32
+	prevNow  sim.Time
+}
+
+// New builds an Auditor over c. The cluster is inspected, never mutated.
+func New(c *cluster.Cluster, cfg Config) *Auditor {
+	if cfg.TraceTail == 0 {
+		cfg.TraceTail = DefaultTraceTail
+	}
+	return &Auditor{c: c, cfg: cfg}
+}
+
+// Attach builds an Auditor and installs it as the cluster's step check, so
+// every RunContext drive of the engine is audited every cfg.Every events
+// (fail-fast) plus once at quiescence.
+func Attach(c *cluster.Cluster, cfg Config) *Auditor {
+	a := New(c, cfg)
+	c.SetStepCheck(cfg.Every, a.Check)
+	return a
+}
+
+// Checks reports how many sweeps have run.
+func (a *Auditor) Checks() int64 { return a.checks }
+
+// Violations reports how many sweeps failed (at most one per Check call —
+// sweeps stop at the first broken law).
+func (a *Auditor) Violations() int64 { return a.violations }
+
+// fail stamps the shared fields of a violation and returns it as an error.
+func (a *Auditor) fail(v *Violation) error {
+	v.Time = a.c.Eng.Now()
+	if a.cfg.Ring != nil && a.cfg.TraceTail > 0 {
+		tail := a.cfg.Ring.Events()
+		if len(tail) > a.cfg.TraceTail {
+			tail = tail[len(tail)-a.cfg.TraceTail:]
+		}
+		v.Trace = tail
+	}
+	a.violations++
+	return v
+}
+
+// Check runs one full sweep and returns the first violation found, or nil.
+// Call only at event boundaries (between engine steps): mid-event the
+// model's books are legitimately in motion.
+func (a *Auditor) Check() error {
+	a.checks++
+	if err := a.checkEngine(); err != nil {
+		return err
+	}
+	for _, n := range a.c.Nodes {
+		if err := a.checkNode(n); err != nil {
+			return err
+		}
+	}
+	return a.checkGang()
+}
+
+// checkEngine enforces time monotonicity: the clock of a discrete-event
+// simulation must never retreat, and no pending event may be in the past.
+func (a *Auditor) checkEngine() error {
+	now := a.c.Eng.Now()
+	if now < a.prevNow {
+		return a.fail(&Violation{
+			Invariant: InvTimeMonotonic, Node: -1, VPage: -1, Frame: -1,
+			Detail: fmt.Sprintf("clock ran backwards: %v after %v", now, a.prevNow),
+		})
+	}
+	a.prevNow = now
+	if at, ok := a.c.Eng.NextEventTime(); ok && at < now {
+		return a.fail(&Violation{
+			Invariant: InvTimeMonotonic, Node: -1, VPage: -1, Frame: -1,
+			Detail: fmt.Sprintf("pending event at %v is before now %v", at, now),
+		})
+	}
+	return nil
+}
+
+// checkNode re-derives one node's memory, swap and disk accounting from the
+// page tables and compares it against every cached counter.
+func (a *Auditor) checkNode(n *cluster.Node) error {
+	phys := n.VM.Phys()
+	nFrames := phys.NumFrames()
+	if len(a.stamp) < nFrames {
+		a.stamp = make([]uint32, nFrames)
+		a.ownerPID = make([]int32, nFrames)
+		a.ownerVP = make([]int32, nFrames)
+	}
+	a.gen++
+	if a.gen == 0 { // stamp wrap: invalidate everything (cf. vm touchGen)
+		for i := range a.stamp {
+			a.stamp[i] = 0
+		}
+		a.gen = 1
+	}
+
+	a.pids = n.VM.AppendPIDs(a.pids[:0])
+	mappedTotal := 0
+	wbPending := 0
+	var regionSlots int64
+	for _, pid := range a.pids {
+		as := n.VM.Process(pid)
+		mapped, res := 0, 0
+		for vp := 0; vp < as.NumPages(); vp++ {
+			fid := as.Frame(vp)
+			if fid == mem.NoFrame {
+				if as.InFlight(vp) {
+					return a.fail(&Violation{
+						Invariant: InvInFlight, Node: n.ID, PID: pid, VPage: vp, Frame: -1,
+						Detail: "page marked in-flight without a frame",
+					})
+				}
+				continue
+			}
+			mapped++
+			if !as.InFlight(vp) {
+				res++
+			}
+			f := phys.Frame(fid)
+			if f.PID != pid || int(f.VPage) != vp {
+				return a.fail(&Violation{
+					Invariant: InvFrameLabel, Node: n.ID, PID: pid, VPage: vp, Frame: int(fid),
+					Detail: fmt.Sprintf("frame labelled (pid %d, vpage %d) but the PTE of (pid %d, vpage %d) maps it",
+						f.PID, f.VPage, pid, vp),
+				})
+			}
+			if f.Locked {
+				return a.fail(&Violation{
+					Invariant: InvFrameConservation, Node: n.ID, PID: pid, VPage: vp, Frame: int(fid),
+					Detail: "wired (locked) frame mapped by a process",
+				})
+			}
+			if a.stamp[fid] == a.gen {
+				return a.fail(&Violation{
+					Invariant: InvFrameDoubleMap, Node: n.ID, PID: pid, VPage: vp, Frame: int(fid),
+					Detail: fmt.Sprintf("frame already mapped by (pid %d, vpage %d) this sweep",
+						a.ownerPID[fid], a.ownerVP[fid]),
+				})
+			}
+			a.stamp[fid] = a.gen
+			a.ownerPID[fid] = int32(pid)
+			a.ownerVP[fid] = int32(vp)
+		}
+		if res != as.Resident() {
+			return a.fail(&Violation{
+				Invariant: InvResidentCounter, Node: n.ID, PID: pid, VPage: -1, Frame: -1,
+				Detail: fmt.Sprintf("resident counter %d but page table holds %d non-in-flight frames",
+					as.Resident(), res),
+			})
+		}
+		if got := phys.Resident(pid); got != mapped {
+			return a.fail(&Violation{
+				Invariant: InvResidentCounter, Node: n.ID, PID: pid, VPage: -1, Frame: -1,
+				Detail: fmt.Sprintf("frame table says %d frames owned but page table maps %d", got, mapped),
+			})
+		}
+		mappedTotal += mapped
+		for vp := 0; vp < as.NumPages(); vp++ {
+			wbPending += as.PendingWrites(vp)
+		}
+		r := as.Region()
+		if r.N != as.NumPages() || r.Start < 0 || int64(r.Start)+int64(r.N) > n.Swap.Capacity() {
+			return a.fail(&Violation{
+				Invariant: InvSwapAccounting, Node: n.ID, PID: pid, VPage: -1, Frame: -1,
+				Detail: fmt.Sprintf("swap region [%d,+%d) does not cover the %d-page footprint within capacity %d",
+					r.Start, r.N, as.NumPages(), n.Swap.Capacity()),
+			})
+		}
+		regionSlots += int64(r.N)
+	}
+
+	// Frame conservation: every frame is free, wired, or mapped by exactly
+	// one live PTE. A frame still owned by a destroyed process (a leak)
+	// breaks the sum: it is neither free nor reachable from a page table.
+	if free, locked := phys.NumFree(), phys.LockedFrames(); free+locked+mappedTotal != nFrames {
+		return a.fail(&Violation{
+			Invariant: InvFrameConservation, Node: n.ID, VPage: -1, Frame: -1,
+			Detail: fmt.Sprintf("free %d + locked %d + mapped %d != %d frames (leaked or double-counted frames)",
+				free, locked, mappedTotal, nFrames),
+		})
+	}
+
+	// Swap accounting: the extent allocator's own books must balance, and
+	// the sum of live per-process regions must equal the used-slot counter —
+	// a region surviving DestroyProcess (slot leak) shows up here.
+	if err := n.Swap.Validate(); err != nil {
+		return a.fail(&Violation{
+			Invariant: InvSwapAccounting, Node: n.ID, VPage: -1, Frame: -1,
+			Detail: err.Error(),
+		})
+	}
+	if used := n.Swap.Used(); used != regionSlots {
+		return a.fail(&Violation{
+			Invariant: InvSwapAccounting, Node: n.ID, VPage: -1, Frame: -1,
+			Detail: fmt.Sprintf("live regions cover %d slots but the allocator says %d are used (slot leak)",
+				regionSlots, used),
+		})
+	}
+
+	if got := n.VM.PendingWriteBacks(); got != wbPending {
+		return a.fail(&Violation{
+			Invariant: InvWriteBackPending, Node: n.ID, VPage: -1, Frame: -1,
+			Detail: fmt.Sprintf("aggregate pending write-backs %d but per-page counts sum to %d", got, wbPending),
+		})
+	}
+
+	// Disk conservation: every submitted request is completed, dropped by a
+	// crash Reset, still queued, or the one in service. (Reads/Writes count
+	// at service start, so they are not part of this identity.)
+	ds := n.Disk.Stats()
+	inService := int64(0)
+	if n.Disk.Busy() {
+		inService = 1
+	}
+	if ds.Submitted != ds.Completed+ds.Dropped+int64(n.Disk.QueueLen())+inService {
+		return a.fail(&Violation{
+			Invariant: InvDiskConservation, Node: n.ID, VPage: -1, Frame: -1,
+			Detail: fmt.Sprintf("submitted %d != completed %d + dropped %d + queued %d + in-service %d",
+				ds.Submitted, ds.Completed, ds.Dropped, n.Disk.QueueLen(), inService),
+		})
+	}
+	return nil
+}
+
+// checkGang enforces the scheduling invariants: at most one job's rank runs
+// per node, a running rank never carries the kernel's stopped mark, and the
+// selective page-out designation never targets the running process while a
+// stopped process' pages are available.
+func (a *Auditor) checkGang() error {
+	sched := a.c.Scheduler()
+	if sched == nil {
+		return nil
+	}
+	running := sched.Running()
+	for i, n := range a.c.Nodes {
+		runningPID := 0
+		for _, j := range sched.Jobs() {
+			m := &j.Members[i]
+			if !m.Proc.Running() {
+				continue
+			}
+			if runningPID != 0 {
+				return a.fail(&Violation{
+					Invariant: InvGangSingleRun, Node: n.ID, PID: m.Proc.PID(), VPage: -1, Frame: -1,
+					Detail: fmt.Sprintf("rank of job %q running alongside pid %d", j.Name, runningPID),
+				})
+			}
+			runningPID = m.Proc.PID()
+			if running == nil || j != running {
+				return a.fail(&Violation{
+					Invariant: InvGangSingleRun, Node: n.ID, PID: runningPID, VPage: -1, Frame: -1,
+					Detail: fmt.Sprintf("rank of job %q running but the scheduler says %s holds the cluster",
+						j.Name, runningName(running)),
+				})
+			}
+			if m.Kernel.IsStopped(runningPID) {
+				return a.fail(&Violation{
+					Invariant: InvGangStopped, Node: n.ID, PID: runningPID, VPage: -1, Frame: -1,
+					Detail: "running rank still carries the stopped mark (its evictions would feed adaptive page-in)",
+				})
+			}
+		}
+		out := n.VM.Outgoing()
+		if out == 0 {
+			continue
+		}
+		if n.VM.Process(out) == nil {
+			return a.fail(&Violation{
+				Invariant: InvGangOutgoing, Node: n.ID, PID: out, VPage: -1, Frame: -1,
+				Detail: "selective designation names a dead process",
+			})
+		}
+		// The running job being its own selective victim defeats §3.1 —
+		// except in the degenerate sole-process case, where every reclaim
+		// path can only take that process' pages anyway.
+		if out == runningPID && n.VM.NumProcesses() > 1 {
+			return a.fail(&Violation{
+				Invariant: InvGangOutgoing, Node: n.ID, PID: out, VPage: -1, Frame: -1,
+				Detail: "selective page-out designates the running process while other address spaces are live",
+			})
+		}
+	}
+	return nil
+}
+
+func runningName(j *gang.Job) string {
+	if j == nil {
+		return "no job"
+	}
+	return fmt.Sprintf("job %q", j.Name)
+}

@@ -1,0 +1,250 @@
+package audit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/mem"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// makeCluster wires one node with two jobs whose combined footprint
+// over-commits memory, so a short run exercises fault, reclaim, write-back
+// and switch paths. The scheduler is started but the engine not yet driven.
+func makeCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(1, 1, cluster.NodeConfig{MemoryMB: 2}, core.SOAOAIBG, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		beh := proc.Behavior{
+			FootprintPages: 300,
+			Iterations:     4,
+			Segments:       []proc.Segment{{Offset: 0, Pages: 300, Write: true, Passes: 1}},
+			TouchCost:      10 * sim.Microsecond,
+		}
+		if _, err := c.AddJob(cluster.JobSpec{Name: name, Behavior: beh, Quantum: 20 * sim.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.BuildScheduler(gang.Options{})
+	return c
+}
+
+// step drives n engine events (the cluster must have a started scheduler).
+func step(t *testing.T, c *cluster.Cluster, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, ok := c.Eng.NextEventTime(); !ok {
+			t.Fatalf("engine drained after %d of %d steps", i, n)
+		}
+		c.Eng.Step()
+	}
+}
+
+func TestAuditCleanRunPasses(t *testing.T) {
+	c := makeCluster(t)
+	a := Attach(c, Config{Every: 1})
+	if err := c.Run(time10m()); err != nil {
+		t.Fatalf("audited clean run failed: %v", err)
+	}
+	if a.Checks() == 0 {
+		t.Fatal("auditor never ran")
+	}
+	if a.Violations() != 0 {
+		t.Fatalf("violations = %d on a clean run", a.Violations())
+	}
+}
+
+func time10m() sim.Duration { return 10 * sim.Minute }
+
+// corruptions break one invariant each through exported mutators only, and
+// name the violation the auditor must attribute the damage to.
+func TestAuditDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    string
+		corrupt func(t *testing.T, c *cluster.Cluster)
+	}{
+		{
+			name: "mislabelled frame",
+			want: InvFrameLabel,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				n := c.Nodes[0]
+				fid := mappedFrame(t, c)
+				n.Phys.Frame(fid).VPage++
+			},
+		},
+		{
+			name: "wired frame still mapped",
+			want: InvFrameConservation,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				n := c.Nodes[0]
+				n.Phys.Frame(mappedFrame(t, c)).Locked = true
+			},
+		},
+		{
+			name: "leaked frame owned by a ghost process",
+			want: InvFrameConservation,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				if _, ok := c.Nodes[0].Phys.Alloc(99, 0, c.Eng.Now()); !ok {
+					t.Skip("no free frame to leak")
+				}
+			},
+		},
+		{
+			name: "frame table resident count drifts from the page table",
+			want: InvResidentCounter,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				if _, ok := c.Nodes[0].Phys.Alloc(1, 9999, c.Eng.Now()); !ok {
+					t.Skip("no free frame to misattribute")
+				}
+			},
+		},
+		{
+			name: "swap slots leak past process teardown",
+			want: InvSwapAccounting,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				if _, err := c.Nodes[0].Swap.Reserve(10); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "selective designation targets the running job",
+			want: InvGangOutgoing,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				c.Nodes[0].VM.SetOutgoing(runningPID(t, c))
+			},
+		},
+		{
+			name: "running rank carries the stopped mark",
+			want: InvGangStopped,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				c.Nodes[0].Kernel.MarkStopped(runningPID(t, c))
+			},
+		},
+		{
+			name: "two jobs running on one node",
+			want: InvGangSingleRun,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				for _, j := range c.Scheduler().Jobs() {
+					m := &j.Members[0]
+					if !m.Proc.Running() {
+						m.Proc.Start()
+						return
+					}
+				}
+				t.Fatal("no stopped rank to start")
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := makeCluster(t)
+			a := New(c, Config{})
+			c.Scheduler().Start()
+			step(t, c, 400) // mid-run: pages resident, reclaim under way
+			if err := a.Check(); err != nil {
+				t.Fatalf("pre-corruption sweep failed: %v", err)
+			}
+			tc.corrupt(t, c)
+			err := a.Check()
+			var v *Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("corruption not detected (err = %v)", err)
+			}
+			if v.Invariant != tc.want {
+				t.Fatalf("violation attributed to %q, want %q: %v", v.Invariant, tc.want, v)
+			}
+			if a.Violations() != 1 {
+				t.Fatalf("violation counter = %d, want 1", a.Violations())
+			}
+		})
+	}
+}
+
+// mappedFrame returns some frame currently mapped by the running process.
+func mappedFrame(t *testing.T, c *cluster.Cluster) mem.FrameID {
+	t.Helper()
+	n := c.Nodes[0]
+	pid := runningPID(t, c)
+	as := n.VM.Process(pid)
+	for vp := 0; vp < as.NumPages(); vp++ {
+		if fid := as.Frame(vp); fid != mem.NoFrame && !as.InFlight(vp) {
+			return fid
+		}
+	}
+	t.Fatal("running process has no mapped frame")
+	return mem.NoFrame
+}
+
+func runningPID(t *testing.T, c *cluster.Cluster) int {
+	t.Helper()
+	j := c.Scheduler().Running()
+	if j == nil {
+		t.Fatal("no running job")
+	}
+	return j.Members[0].Proc.PID()
+}
+
+// TestAuditSweepInterval pins the sampling contract: Every=N sweeps about
+// every N-th event, and a violation in the final events is still caught by
+// the quiescence sweep.
+func TestAuditSweepInterval(t *testing.T) {
+	dense := makeCluster(t)
+	ad := Attach(dense, Config{Every: 1})
+	if err := dense.Run(time10m()); err != nil {
+		t.Fatal(err)
+	}
+	sparse := makeCluster(t)
+	as := Attach(sparse, Config{Every: 64})
+	if err := sparse.Run(time10m()); err != nil {
+		t.Fatal(err)
+	}
+	if as.Checks() == 0 || as.Checks() >= ad.Checks() {
+		t.Fatalf("sparse auditor ran %d sweeps, dense %d", as.Checks(), ad.Checks())
+	}
+}
+
+// TestAuditCheckZeroAlloc enforces the zero-garbage contract: after the
+// first sweep sized the scratch, a clean sweep must not allocate.
+func TestAuditCheckZeroAlloc(t *testing.T) {
+	c := makeCluster(t)
+	a := New(c, Config{})
+	c.Scheduler().Start()
+	step(t, c, 400)
+	if err := a.Check(); err != nil { // warm-up sizes scratch buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Check(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean sweep allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestViolationError pins the report format: invariant, location, detail.
+func TestViolationError(t *testing.T) {
+	v := &Violation{
+		Invariant: InvFrameDoubleMap,
+		Node:      2, PID: 7, VPage: 41, Frame: 13,
+		Time:   sim.Time(0).Add(3 * sim.Second),
+		Detail: "frame already mapped",
+	}
+	msg := v.Error()
+	for _, want := range []string{InvFrameDoubleMap, "node 2", "pid 7", "vpage 41", "frame 13", "frame already mapped"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("violation message %q missing %q", msg, want)
+		}
+	}
+}

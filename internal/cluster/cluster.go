@@ -124,6 +124,9 @@ type Cluster struct {
 	down      map[int]bool    // nodes currently crashed
 	faults    FaultStats
 	onAllDone func()
+
+	stepCheck  func() error // invariant check run every checkEvery steps
+	checkEvery int
 }
 
 // FaultStats tallies fault-recovery activity across the run.
@@ -370,6 +373,20 @@ func (c *Cluster) restoreNode(id int) {
 // Scheduler returns the scheduler (nil before BuildScheduler).
 func (c *Cluster) Scheduler() *gang.Scheduler { return c.sched }
 
+// SetStepCheck installs fn to run after every n-th engine step of
+// RunContext (n <= 0 means after every step) and once more when the engine
+// drains. A non-nil error aborts the run immediately with that error —
+// the invariant auditor's fail-fast hook. Pass nil to remove; the check
+// is consulted only at step boundaries, so a nil check costs one branch
+// per event and nothing else.
+func (c *Cluster) SetStepCheck(every int, fn func() error) {
+	if every <= 0 {
+		every = 1
+	}
+	c.checkEvery = every
+	c.stepCheck = fn
+}
+
 // ErrTimeout reports that Run hit its simulated-time limit before every job
 // completed. Returned errors are a *TimeLimitError matching it under
 // errors.Is, carrying per-job progress.
@@ -445,6 +462,7 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 			n.Rec.Reserve(deadline)
 		}
 	}
+	sinceCheck := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -457,6 +475,22 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 			return &TimeLimitError{Limit: limit, Progress: c.progress()}
 		}
 		c.Eng.Step()
+		if c.stepCheck != nil {
+			sinceCheck++
+			if sinceCheck >= c.checkEvery {
+				sinceCheck = 0
+				if err := c.stepCheck(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Final sweep at quiescence, so a violation in the very last events is
+	// caught even with a sparse check interval.
+	if c.stepCheck != nil {
+		if err := c.stepCheck(); err != nil {
+			return err
+		}
 	}
 	for _, j := range c.jobs {
 		if !j.Done() {

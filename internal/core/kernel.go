@@ -126,6 +126,11 @@ func (k *Kernel) MarkStopped(pid int) { k.stopped[pid] = true }
 // under the original policy.
 func (k *Kernel) MarkRunning(pid int) { delete(k.stopped, pid) }
 
+// IsStopped reports whether pid is currently marked de-scheduled. Exposed
+// for the invariant auditor (a Running process must never carry the stopped
+// mark — evictions of a runner must not feed adaptive page-in records).
+func (k *Kernel) IsStopped(pid int) bool { return k.stopped[pid] }
+
 // CrashReset models the kernel module dying with its node: every adaptive
 // page-in record (the flush lists of Figure 4) and the stopped-process map
 // are lost, and the background writer halts. The feature set itself

@@ -193,6 +193,15 @@ type Stats struct {
 	RetryStall    sim.Duration // total backoff delay paid by retries
 	InjectedDelay sim.Duration // extra latency from injected slowdown spikes
 	Dropped       int64        // requests discarded by Reset (node crash)
+
+	// Request conservation, checked by the invariant auditor: every request
+	// ever submitted is either completed, dropped by a Reset, still queued,
+	// or the one in service — Submitted == Completed + Dropped + QueueLen()
+	// + (Busy() ? 1 : 0). Note Reads/Writes count at service START (they
+	// feed service-time accounting), so they can run ahead of Completed by
+	// the in-flight request.
+	Submitted int64 // requests accepted by Submit
+	Completed int64 // requests whose completion event fired
 }
 
 // Disk is a simulated paging device attached to a sim.Engine.
@@ -284,6 +293,7 @@ func (d *Disk) Submit(r *Request) {
 	default:
 		panic(fmt.Sprintf("disk: unknown priority %d", r.Prio))
 	}
+	d.stats.Submitted++
 	if q := d.QueueLen(); q > d.stats.MaxQueueLen {
 		d.stats.MaxQueueLen = q
 	}
@@ -452,6 +462,7 @@ func (d *Disk) serve(r *Request, attempt int) {
 			return // node crashed mid-transfer: the request is gone
 		}
 		d.busy = false
+		d.stats.Completed++
 		if d.QueueLen() == 0 {
 			d.headStale = true
 		}

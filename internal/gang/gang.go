@@ -254,6 +254,16 @@ func (s *Scheduler) Resume() {
 // Jobs returns the job list (callers must not mutate).
 func (s *Scheduler) Jobs() []*Job { return s.jobs }
 
+// Running returns the job currently holding the cluster, or nil before
+// Start, while parked after a crash, or once every job has finished.
+// Exposed for the invariant auditor.
+func (s *Scheduler) Running() *Job {
+	if s.cur < 0 || s.jobs[s.cur].finished {
+		return nil
+	}
+	return s.jobs[s.cur]
+}
+
 // Timeline reports who owned the CPUs when: one interval per served
 // quantum (or partial quantum), in chronological order. The final running
 // interval is closed at the current simulated time.
@@ -404,6 +414,19 @@ func (s *Scheduler) switchTo(next int) {
 		if out != nil {
 			outPID = out.Members[i].Proc.PID()
 			m.Kernel.AdaptivePageOut(inPID, outPID, in.WSHintPages)
+		} else if nvm := m.Kernel.VM(); nvm.Outgoing() == inPID && nvm.NumProcesses() > 1 {
+			// No job is being de-scheduled (first start, handover from a
+			// finished job, or crash-resume), so AdaptivePageOut does not
+			// run and a selective designation from an earlier switch
+			// survives. If it names the incoming job itself while another
+			// address space is live — seen after a crash-resume, where the
+			// victim's designation outlives it on the surviving nodes —
+			// clear it: selective page-out must never steal from the
+			// running job when a stopped process' pages are available.
+			// With no other process live the stale designation is vacuous
+			// (every reclaim path can only take the sole process' pages)
+			// and is left as-is.
+			nvm.SetOutgoing(0)
 		}
 		// The incoming job's page record is replayed even when no job is
 		// being de-scheduled (e.g. the previous job just exited): the

@@ -84,7 +84,7 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 	}
 	// Demand-zero page: no disk involved. If not a single frame can be
 	// freed right now (memory pinned by in-flight reads), retry shortly.
-	if !as.onDisk[vpage] {
+	if !as.backed(vpage) {
 		v.minorFault(as)
 		v.stats.ZeroFills++
 		as.stats.ZeroFills++
@@ -121,7 +121,7 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 	}
 	group := append(v.getGroup(), vpage)
 	for next := vpage + 1; next < as.numPages && len(group) < v.cfg.ReadAhead; next++ {
-		if as.IsResident(next) || as.inFlight[next] || !as.onDisk[next] {
+		if as.IsResident(next) || as.inFlight[next] || !as.backed(next) {
 			break
 		}
 		group = append(group, next)
@@ -151,7 +151,7 @@ func (v *VM) ReadPagesIn(pid int, vpages []int, prio disk.Priority, onDone func(
 		if vp < 0 || vp >= as.numPages {
 			panic(fmt.Sprintf("vm: ReadPagesIn vpage %d outside footprint of pid %d", vp, pid))
 		}
-		if as.IsResident(vp) || as.inFlight[vp] || !as.onDisk[vp] {
+		if as.IsResident(vp) || as.inFlight[vp] || !as.backed(vp) {
 			continue
 		}
 		group = append(group, vp)
@@ -185,7 +185,7 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone fu
 	// Re-filter: on a retry some pages may have landed via other requests.
 	filtered := v.getGroup()
 	for _, vp := range group {
-		if !as.IsResident(vp) && !as.inFlight[vp] && as.onDisk[vp] {
+		if !as.IsResident(vp) && !as.inFlight[vp] && as.backed(vp) {
 			filtered = append(filtered, vp)
 		}
 	}

@@ -24,9 +24,12 @@ type aged struct {
 }
 
 // dirtyBatch groups one process's dirty victims for a coalesced write-back.
+// The page list is a pooled group buffer: it must outlive the eviction call
+// (until the write transfers complete), so unlike the batch slice itself it
+// cannot be flat VM scratch.
 type dirtyBatch struct {
 	as    *AddressSpace
-	slots []disk.Slot
+	pages []int
 }
 
 // ensureFree makes room for an allocation of n frames, running a reclaim
@@ -341,16 +344,15 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 				i = len(batches)
 				batchOf[as] = i
 				if i < cap(batches) {
-					// Reuse the retired element's slot buffer.
 					batches = batches[:i+1]
 					batches[i].as = as
-					batches[i].slots = batches[i].slots[:0]
 				} else {
 					batches = append(batches, dirtyBatch{as: as})
 				}
+				batches[i].pages = v.getGroup()
 			}
-			batches[i].slots = append(batches[i].slots, as.region.SlotFor(vp))
-			as.onDisk[vp] = true
+			batches[i].pages = append(batches[i].pages, vp)
+			v.queueWriteBack(as, vp)
 		}
 		as.bgClean[vp] = false
 		as.frames[vp] = mem.NoFrame
@@ -360,8 +362,9 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 			v.OnPageOut(as.pid, vp)
 		}
 	}
-	for _, b := range batches {
-		n := int64(len(b.slots))
+	for i := range batches {
+		b := &batches[i]
+		n := int64(len(b.pages))
 		v.stats.PagesOut += n
 		b.as.stats.PagesOut += n
 		if v.obs != nil {
@@ -376,12 +379,74 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 				Prio:  prio.String(),
 			})
 		}
-		runs := v.coalesceSplit(b.slots)
-		for _, r := range runs {
-			v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
-		}
+		v.submitWriteBack(b.as, b.pages, prio)
+		b.pages = nil // owned by the transfer completions now
 	}
 	v.batchScratch = batches[:0]
+}
+
+// queueWriteBack accounts one queued (not yet completed) write of vp.
+func (v *VM) queueWriteBack(as *AddressSpace, vp int) {
+	if as.wbPending[vp] == ^uint16(0) {
+		panic(fmt.Sprintf("vm: write-back pending overflow on pid %d vpage %d", as.pid, vp))
+	}
+	as.wbPending[vp]++
+	v.wbPendingPages++
+}
+
+// submitWriteBack issues coalesced write transactions for the listed pages
+// of as, taking ownership of pages (a pooled group buffer). Slots ascend
+// with page numbers inside one region, so after sorting, each coalesced run
+// corresponds to a consecutive chunk of pages — the completion of each
+// transaction marks exactly its chunk's slots valid, and the buffer is
+// recycled when the last one lands. This mirrors readIn on the read side.
+func (v *VM) submitWriteBack(as *AddressSpace, pages []int, prio disk.Priority) {
+	sort.Ints(pages)
+	slots := v.slotScratch[:0]
+	for _, vp := range pages {
+		slots = append(slots, as.region.SlotFor(vp))
+	}
+	v.slotScratch = slots[:0]
+	runs := v.coalesceSplit(slots)
+	remaining := len(runs)
+	idx := 0
+	for _, r := range runs {
+		chunk := pages[idx : idx+r.N]
+		idx += r.N
+		v.dsk.Submit(&disk.Request{
+			Runs:  []disk.Run{r},
+			Write: true,
+			Prio:  prio,
+			Done: func(sim.Duration) {
+				v.completeWrite(as, chunk)
+				remaining--
+				if remaining == 0 {
+					v.putGroup(pages)
+				}
+			},
+		})
+	}
+}
+
+// completeWrite records that one write transaction reached the device: its
+// pages now have a valid swap copy. Completions for a process that exited
+// while the write was queued are ignored — its region was released at
+// destroy time and may already belong to a new process, so a late write
+// must not resurrect slot state (the pointer identity check also covers
+// pid reuse). Crash-dropped writes never get here: Disk.Reset's epoch
+// guard swallows their completions.
+func (v *VM) completeWrite(as *AddressSpace, pages []int) {
+	if v.procs[as.pid] != as {
+		return
+	}
+	for _, vp := range pages {
+		if as.wbPending[vp] == 0 {
+			panic(fmt.Sprintf("vm: write-back completion without a pending write on pid %d vpage %d", as.pid, vp))
+		}
+		as.wbPending[vp]--
+		v.wbPendingPages--
+		as.onDisk[vp] = true
+	}
 }
 
 // coalesceSplit coalesces slots (sorting them in place) and splits the runs
@@ -492,21 +557,21 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 			siftDown()
 		}
 	}
-	slots := v.slotScratch[:0]
+	if len(heap) == 0 {
+		v.agedScratch = heap[:0]
+		return 0
+	}
+	pages := v.getGroup()
 	for _, d := range heap {
 		vp := d.vp
 		f := v.phys.Frame(as.frames[vp])
 		f.Dirty = false
-		as.onDisk[vp] = true
 		as.bgClean[vp] = true
-		slots = append(slots, as.region.SlotFor(vp))
+		v.queueWriteBack(as, vp)
+		pages = append(pages, vp)
 	}
 	v.agedScratch = heap[:0]
-	v.slotScratch = slots[:0]
-	if len(slots) == 0 {
-		return 0
-	}
-	n := int64(len(slots))
+	n := int64(len(pages))
 	if prio == disk.Background {
 		v.stats.BGPagesOut += n
 		if v.obs != nil {
@@ -530,9 +595,6 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 			Prio:  prio.String(),
 		})
 	}
-	runs := v.coalesceSplit(slots)
-	for _, r := range runs {
-		v.dsk.Submit(&disk.Request{Runs: []disk.Run{r}, Write: true, Prio: prio})
-	}
+	v.submitWriteBack(as, pages, prio)
 	return int(n)
 }

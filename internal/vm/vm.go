@@ -130,11 +130,16 @@ type AddressSpace struct {
 	pid      int
 	numPages int
 	frames   []mem.FrameID // frame per vpage, NoFrame when not resident
-	onDisk   []bool        // swap slot holds a valid copy
+	onDisk   []bool        // a write-back COMPLETED: the swap slot holds a valid copy
 	bgClean  []bool        // cleaned by bg writer since last dirtying (waste detection)
 	inFlight []bool        // read from swap in progress
-	region   swap.Region
-	resident int
+	// wbPending counts queued-but-incomplete write-backs per page. A page is
+	// swap-backed when onDisk is set OR a write is pending; only a completed
+	// write flips onDisk, so a crash that drops queued writes (Disk.Reset)
+	// cannot leave a page claiming a swap copy that never reached the device.
+	wbPending []uint16
+	region    swap.Region
+	resident  int
 
 	// Working-set estimation: distinct pages touched this quantum.
 	touchGen   []uint32
@@ -165,8 +170,38 @@ func (as *AddressSpace) IsResident(vpage int) bool {
 	return as.frames[vpage] != mem.NoFrame && !as.inFlight[vpage]
 }
 
-// OnDisk reports whether the swap copy of vpage is valid.
-func (as *AddressSpace) OnDisk(vpage int) bool { return as.onDisk[vpage] }
+// OnDisk reports whether vpage is swap-backed: its slot holds a valid copy,
+// or a queued write-back will make it one (the fault path treats both the
+// same, as the real kernel does — a fault on a page with a queued write
+// reads the slot behind that write).
+func (as *AddressSpace) OnDisk(vpage int) bool { return as.backed(vpage) }
+
+// backed reports whether vpage's swap slot holds, or has a queued write that
+// will produce, a valid copy. This is the behaviour-visible predicate the
+// fault and read-ahead paths use; onDisk alone only says a write completed.
+func (as *AddressSpace) backed(vpage int) bool {
+	return as.onDisk[vpage] || as.wbPending[vpage] > 0
+}
+
+// Frame reports the frame mapped at vpage (NoFrame when not resident).
+// Audit accessor.
+func (as *AddressSpace) Frame(vpage int) mem.FrameID { return as.frames[vpage] }
+
+// InFlight reports whether a swap read of vpage is in progress. Audit
+// accessor.
+func (as *AddressSpace) InFlight(vpage int) bool { return as.inFlight[vpage] }
+
+// PendingWrites reports how many queued write-backs target vpage's slot.
+// Audit accessor.
+func (as *AddressSpace) PendingWrites(vpage int) int { return int(as.wbPending[vpage]) }
+
+// WriteCompleted reports whether a write-back of vpage has completed, i.e.
+// the slot's copy is valid even if the node crashes right now. Audit
+// accessor; the fault path uses OnDisk (which also counts pending writes).
+func (as *AddressSpace) WriteCompleted(vpage int) bool { return as.onDisk[vpage] }
+
+// Region reports the process's contiguous swap reservation. Audit accessor.
+func (as *AddressSpace) Region() swap.Region { return as.region }
 
 // VM is one node's paging subsystem.
 type VM struct {
@@ -198,6 +233,10 @@ type VM struct {
 	// epoch is bumped by Crash; deferred fault-path closures (zero-fill and
 	// read-in retries) from an older epoch must not touch post-crash state.
 	epoch uint64
+
+	// wbPendingPages aggregates every address space's wbPending entries; the
+	// auditor cross-checks this incremental counter against a recomputation.
+	wbPendingPages int
 
 	stats Stats
 
@@ -303,16 +342,17 @@ func (v *VM) NewProcess(pid, numPages int) (*AddressSpace, error) {
 		return nil, fmt.Errorf("vm: creating pid %d: %w", pid, err)
 	}
 	as := &AddressSpace{
-		pid:      pid,
-		numPages: numPages,
-		frames:   make([]mem.FrameID, numPages),
-		onDisk:   make([]bool, numPages),
-		bgClean:  make([]bool, numPages),
-		inFlight: make([]bool, numPages),
-		region:   region,
-		touchGen: make([]uint32, numPages),
-		curGen:   1,
-		waiters:  make(map[int][]func()),
+		pid:       pid,
+		numPages:  numPages,
+		frames:    make([]mem.FrameID, numPages),
+		onDisk:    make([]bool, numPages),
+		bgClean:   make([]bool, numPages),
+		inFlight:  make([]bool, numPages),
+		wbPending: make([]uint16, numPages),
+		region:    region,
+		touchGen:  make([]uint32, numPages),
+		curGen:    1,
+		waiters:   make(map[int][]func()),
 	}
 	for i := range as.frames {
 		as.frames[i] = mem.NoFrame
@@ -324,9 +364,20 @@ func (v *VM) NewProcess(pid, numPages int) (*AddressSpace, error) {
 // Process returns the address space for pid, or nil.
 func (v *VM) Process(pid int) *AddressSpace { return v.procs[pid] }
 
-// Processes returns the live pids (unspecified order length only — use for
-// iteration via Process).
+// NumProcesses reports how many address spaces are live.
 func (v *VM) NumProcesses() int { return len(v.procs) }
+
+// AppendPIDs appends the live pids to dst in ascending order and returns it
+// like append. The auditor reuses one buffer across sweeps so enumerating
+// processes allocates nothing after warm-up.
+func (v *VM) AppendPIDs(dst []int) []int {
+	n := len(dst)
+	for pid := range v.procs {
+		dst = append(dst, pid)
+	}
+	sort.Ints(dst[n:])
+	return dst
+}
 
 // DestroyProcess releases all frames and the swap region of pid. Pending
 // fault waiters are dropped; in-flight disk transfers complete harmlessly.
@@ -342,6 +393,17 @@ func (v *VM) DestroyProcess(pid int) {
 	as.waiters = nil
 	for vp := range as.inFlight {
 		as.inFlight[vp] = false
+	}
+	// Queued write-backs of this process are orphaned: their completions are
+	// ignored (completeWrite checks process identity), so drop them from the
+	// aggregate now. The swap region is released below; the disk may still
+	// write the old slots, which is harmless — the slots carry no identity
+	// once the region is gone.
+	for vp := range as.wbPending {
+		if as.wbPending[vp] > 0 {
+			v.wbPendingPages -= int(as.wbPending[vp])
+			as.wbPending[vp] = 0
+		}
 	}
 	v.space.ReleaseRegion(as.region)
 	delete(v.procs, pid)
@@ -378,6 +440,18 @@ func (v *VM) Crash() {
 			}
 			as.inFlight[vp] = false
 			as.bgClean[vp] = false
+			// Queued and in-flight write-backs die with the disk queue
+			// (Disk.Reset drops them), so the data never reached the slot:
+			// clear the pending counts WITHOUT setting onDisk. A page whose
+			// only copy was in a dropped write loses its backing and will
+			// demand-zero re-fault — before this, onDisk was set at queue
+			// time and a crash could "resurrect" a swap copy that was never
+			// written. Slots with an earlier completed write keep onDisk: a
+			// valid (if stale) copy really is on the device.
+			if as.wbPending[vp] > 0 {
+				v.wbPendingPages -= int(as.wbPending[vp])
+				as.wbPending[vp] = 0
+			}
 		}
 		as.resident = 0
 		// Collect waiters in vpage order, then fire after all bookkeeping is
@@ -421,6 +495,15 @@ func (v *VM) BeginQuantum(pid int) {
 	as.everRanQtm = true
 	as.touched = 0
 	as.curGen++
+	if as.curGen == 0 {
+		// The generation counter wrapped: stale touchGen entries from 2^32
+		// quanta ago would now compare equal to curGen and read as touched
+		// this quantum. Clear the stamps and restart from generation 1.
+		for i := range as.touchGen {
+			as.touchGen[i] = 0
+		}
+		as.curGen = 1
+	}
 }
 
 // WSEstimate reports the kernel's working-set estimate for pid in pages.
@@ -442,18 +525,34 @@ func (v *VM) WSEstimate(pid int) int {
 	return avail
 }
 
-// Validate cross-checks VM bookkeeping against the frame table; test hook.
+// PendingWriteBacks reports the node-wide count of queued-but-incomplete
+// write-back pages; the auditor cross-checks it against a per-page
+// recomputation.
+func (v *VM) PendingWriteBacks() int { return v.wbPendingPages }
+
+// Validate cross-checks VM bookkeeping against the frame table. Unlike the
+// structured auditor in internal/audit (which grew out of this hook and
+// supersedes it for whole-simulation checking), it is safe to call at any
+// event boundary: pages with an in-flight read own a frame but are not yet
+// counted resident.
 func (v *VM) Validate() error {
 	if err := v.phys.Validate(); err != nil {
 		return err
 	}
+	pending := 0
 	for pid, as := range v.procs {
-		res := 0
+		res, mapped := 0, 0
 		for vp, fid := range as.frames {
 			if fid == mem.NoFrame {
+				if as.inFlight[vp] {
+					return fmt.Errorf("vm: pid %d vpage %d in flight without a frame", pid, vp)
+				}
 				continue
 			}
-			res++
+			mapped++
+			if !as.inFlight[vp] {
+				res++
+			}
 			f := v.phys.Frame(fid)
 			if f.PID != pid || int(f.VPage) != vp {
 				return fmt.Errorf("vm: frame %d labelled (%d,%d), PTE says (%d,%d)",
@@ -463,9 +562,15 @@ func (v *VM) Validate() error {
 		if res != as.resident {
 			return fmt.Errorf("vm: pid %d resident counter %d, PTEs say %d", pid, as.resident, res)
 		}
-		if v.phys.Resident(pid) != res {
-			return fmt.Errorf("vm: pid %d phys resident %d, PTEs say %d", pid, v.phys.Resident(pid), res)
+		if v.phys.Resident(pid) != mapped {
+			return fmt.Errorf("vm: pid %d phys resident %d, PTEs say %d", pid, v.phys.Resident(pid), mapped)
 		}
+		for vp := range as.wbPending {
+			pending += int(as.wbPending[vp])
+		}
+	}
+	if pending != v.wbPendingPages {
+		return fmt.Errorf("vm: write-back pending counter %d, pages say %d", v.wbPendingPages, pending)
 	}
 	return nil
 }
