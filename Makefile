@@ -33,15 +33,19 @@ audit:
 	$(GO) test -race -count 1 -run 'TestCrashResumeClearsStaleOutgoing' -v ./internal/gang
 
 # Randomised audited runs: fault/workload/policy combinations with a
-# conservation sweep after every engine event. FUZZTIME=10m for a soak.
+# conservation sweep after every engine event, plus the event-queue order
+# fuzz (calendar queue vs a reference heap). FUZZTIME=10m for a soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime $(FUZZTIME) ./internal/sim
 
 # The everything gate: vet, build, race tests, the serial-vs-parallel
 # equivalence test under the race detector (the determinism contract of the
-# parallel experiment runner), the audited policy matrix + fault soak, and
-# a fuzz smoke of randomised audited runs.
+# parallel experiment runner), the audited policy matrix + fault soak, fuzz
+# smokes of randomised audited runs and of event-queue ordering, and the
+# bench-regression gate (Fig7Serial + the engine microbenchmarks vs the
+# committed BENCH_sim.json, so event-core wins cannot silently erode).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -49,14 +53,26 @@ check:
 	$(GO) test -race -run 'TestParallelEquivalence|TestWorkloadConcurrent' -count 1 .
 	$(GO) test -race -run 'TestAuditPolicyMatrix|TestAuditFaultSoak' -count 1 .
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime 10s ./internal/sim
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$' -benchtime 1x -benchmem . \
+	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
+	  | bin/benchjson -compare BENCH_sim.json
 
 # Simulator benchmark suite with allocation stats, summarised into the
 # machine-readable BENCH_sim.json (name, ns/op, B/op, allocs/op). The
-# PolicyRun/PolicyRunAudited pair yields a derived PolicyRunAuditOverhead
-# record pricing the invariant auditor.
+# multi-second figure benchmarks run once (-benchtime 1x); the millisecond
+# PolicyRun* trio runs at the default benchtime so its numbers are not
+# single-iteration warmup noise. The PolicyRun/PolicyRunAudited pair yields
+# a derived PolicyRunAuditOverhead record pricing the invariant auditor;
+# the BenchmarkEngine* rows record the event queue itself so queue-level
+# regressions show up without a figure run.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run NONE -bench 'BenchmarkFig|BenchmarkPolicyRun' -benchtime 1x -benchmem . | bin/benchjson -o BENCH_sim.json
+	{ $(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem . \
+	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun' -benchmem . \
+	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
+	  | bin/benchjson -o BENCH_sim.json
 
 # The obs pair: RunObsDisabled is the zero-overhead claim (parity with the
 # pre-observability baseline), RunObsEnabled prices full capture. Compare

@@ -10,6 +10,13 @@
 //
 //	go test -run NONE -bench BenchmarkFig -benchmem . | benchjson -o BENCH_sim.json
 //
+// With -compare FILE the tool is a regression gate instead of a writer: the
+// benchmarks on stdin are compared by name against the records in FILE and
+// the exit status is non-zero when any ns/op regresses by more than
+// -threshold percent (derived *AuditOverhead records and benchmarks absent
+// from the baseline are skipped). `make check` runs it against the committed
+// BENCH_sim.json so queue- or figure-level slowdowns fail the gate.
+//
 // Non-benchmark lines (the goos/pkg header, PASS, ok) pass through to
 // stderr so the surrounding make target stays readable.
 package main
@@ -39,6 +46,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
+	compare := flag.String("compare", "", "baseline BENCH_sim.json: gate mode — fail when an stdin benchmark's ns/op regresses past -threshold percent (writes nothing)")
+	threshold := flag.Float64("threshold", 25, "ns/op regression tolerance in percent for -compare")
 	flag.Parse()
 
 	var results []Result
@@ -59,6 +68,12 @@ func main() {
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
+	if *compare != "" {
+		if err := compareAgainst(*compare, results, *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	results = append(results, deriveOverheads(results)...)
 
 	data, err := json.MarshalIndent(results, "", "  ")
@@ -74,6 +89,55 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%d benchmark(s) written to %s", len(results), *out)
+}
+
+// compareAgainst loads the baseline records from path and checks every stdin
+// benchmark that also appears there, reporting each comparison and returning
+// an error when any ns/op regressed by more than threshold percent. Derived
+// *AuditOverhead rows are skipped (differences of differences are too noisy
+// to gate on), as are benchmarks the baseline does not know yet.
+func compareAgainst(path string, results []Result, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline []Result
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		byName[r.Name] = r
+	}
+	compared := 0
+	var regressions []string
+	for _, r := range results {
+		if strings.HasSuffix(r.Name, "AuditOverhead") || r.NsPerOp <= 0 {
+			continue
+		}
+		base, ok := byName[r.Name]
+		if !ok || base.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline, skipped\n", r.Name)
+			continue
+		}
+		compared++
+		pct := 100 * (r.NsPerOp - base.NsPerOp) / base.NsPerOp
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
+			r.Name, base.NsPerOp, r.NsPerOp, pct)
+		if pct > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)",
+					r.Name, pct, base.NsPerOp, r.NsPerOp, threshold))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no stdin benchmark matched a baseline record in %s", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regression past threshold:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n", compared, threshold, path)
+	return nil
 }
 
 // deriveOverheads synthesises a `<X>AuditOverhead` record for every

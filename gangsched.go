@@ -40,8 +40,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
-	"repro/internal/mem"
 	"repro/internal/gang"
+	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/proc"

@@ -32,23 +32,31 @@ import (
 
 // Invariant names, as reported in violations (and listed in DESIGN.md §9).
 const (
-	InvFrameConservation = "frame-conservation" // free + locked + mapped == total frames
-	InvResidentCounter   = "resident-counter"   // per-process resident counters match the page table
-	InvFrameLabel        = "frame-label"        // frame ownership label matches the PTE pointing at it
-	InvFrameDoubleMap    = "frame-double-map"   // no frame mapped by two (pid, vpage) pairs
-	InvInFlight          = "in-flight"          // an in-flight page owns a frame and is not counted resident
-	InvSwapAccounting    = "swap-accounting"    // sum of live regions == slots used; free list consistent
-	InvWriteBackPending  = "writeback-pending"  // queued-write aggregate matches per-page counts
-	InvDiskConservation  = "disk-conservation"  // submitted == completed + dropped + queued + in-service
-	InvTimeMonotonic     = "time-monotonic"     // the engine clock never runs backwards
+	InvFrameConservation = "frame-conservation"  // free + locked + mapped == total frames
+	InvResidentCounter   = "resident-counter"    // per-process resident counters match the page table
+	InvFrameLabel        = "frame-label"         // frame ownership label matches the PTE pointing at it
+	InvFrameDoubleMap    = "frame-double-map"    // no frame mapped by two (pid, vpage) pairs
+	InvInFlight          = "in-flight"           // an in-flight page owns a frame and is not counted resident
+	InvSwapAccounting    = "swap-accounting"     // sum of live regions == slots used; free list consistent
+	InvWriteBackPending  = "writeback-pending"   // queued-write aggregate matches per-page counts
+	InvDiskConservation  = "disk-conservation"   // submitted == completed + dropped + queued + in-service
+	InvTimeMonotonic     = "time-monotonic"      // the engine clock never runs backwards
 	InvGangSingleRun     = "gang-single-running" // at most one job's rank runs per node
-	InvGangOutgoing      = "gang-outgoing"      // selective designation never targets the running job
-	InvGangStopped       = "gang-stopped"       // a running rank never carries the stopped mark
+	InvGangOutgoing      = "gang-outgoing"       // selective designation never targets the running job
+	InvGangStopped       = "gang-stopped"        // a running rank never carries the stopped mark
 )
 
 // Config tunes an Auditor.
 type Config struct {
-	// Every is the sweep interval in engine events (<= 0 means every event).
+	// Every is the sweep interval in logical engine events (<= 0 means every
+	// event). Logical means Engine.Executed units: a touch run that the
+	// process engine fast-forwards through in one physical event still
+	// advances the count by the number of events it collapsed, so the sweep
+	// cadence — and the audit-enabled golden outputs — are identical with
+	// and without fast-forwarding. Sweeps cannot fire inside a collapsed
+	// run (the cluster's step loop checks between physical events), which is
+	// sound: no state of interest changes mid-run, by the fast-forward
+	// bail-out conditions (see DESIGN.md §10).
 	Every int
 	// TraceTail bounds how many trailing observability events a violation
 	// report carries (0 picks DefaultTraceTail; negative disables).
@@ -64,13 +72,13 @@ const DefaultTraceTail = 32
 // Violation is one broken invariant, caught at an event boundary. It
 // implements error; the run fails fast with it.
 type Violation struct {
-	Invariant string   // which law broke (Inv* constant)
-	Node      int      // node id, -1 for cluster-wide invariants
-	PID       int      // offending process, 0 when not applicable
-	VPage     int      // offending virtual page, -1 when not applicable
-	Frame     int      // offending frame, -1 when not applicable
-	Time      sim.Time // engine clock at detection
-	Detail    string   // human-readable account of the divergence
+	Invariant string      // which law broke (Inv* constant)
+	Node      int         // node id, -1 for cluster-wide invariants
+	PID       int         // offending process, 0 when not applicable
+	VPage     int         // offending virtual page, -1 when not applicable
+	Frame     int         // offending frame, -1 when not applicable
+	Time      sim.Time    // engine clock at detection
+	Detail    string      // human-readable account of the divergence
 	Trace     []obs.Event // tail of the observability ring, oldest first
 }
 

@@ -194,9 +194,12 @@ func (c *Cluster) EnableObservability(setup *obs.Setup) {
 	if setup.Reg != nil {
 		simTime := setup.Reg.Gauge(obs.MetricSimTime, "Current simulated time.", nil)
 		events := setup.Reg.Counter(obs.MetricEngineEvents, "Simulation engine events fired.", nil)
-		c.Eng.SetStepHook(func(now sim.Time) {
+		c.Eng.SetStepHook(func(now sim.Time, fired int) {
 			simTime.Set(now.Seconds())
-			events.Inc()
+			// fired is the step's logical weight: a fast-forwarded touch
+			// run counts every event it collapsed, so the throughput
+			// counter is independent of collapsing.
+			events.Add(float64(fired))
 		})
 	}
 }
@@ -462,7 +465,8 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 			n.Rec.Reserve(deadline)
 		}
 	}
-	sinceCheck := 0
+	sinceCheck := uint64(0)
+	lastExec := c.Eng.Executed()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -476,9 +480,16 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 		}
 		c.Eng.Step()
 		if c.stepCheck != nil {
-			sinceCheck++
-			if sinceCheck >= c.checkEvery {
-				sinceCheck = 0
+			// Cadence is measured in logical events (sim.Engine.Executed),
+			// so a fast-forwarded touch run that collapses k events into
+			// one step still advances the check counter by k — and still
+			// triggers the same number of sweeps, at the first event
+			// boundary on or after where each would have fallen.
+			exec := c.Eng.Executed()
+			sinceCheck += exec - lastExec
+			lastExec = exec
+			for sinceCheck >= uint64(c.checkEvery) {
+				sinceCheck -= uint64(c.checkEvery)
 				if err := c.stepCheck(); err != nil {
 					return err
 				}

@@ -56,10 +56,10 @@ func BlockPagingStudy(cfg Config) ([]BlockPagingRow, error) {
 	}
 
 	schemes := []struct {
-		name       string
-		features   core.Features
-		mode       gang.Mode
-		ra, clOut  int
+		name      string
+		features  core.Features
+		mode      gang.Mode
+		ra, clOut int
 	}{
 		{"batch", core.Orig, gang.Batch, 0, 0},
 		{"orig", core.Orig, gang.Gang, 0, 0},

@@ -162,10 +162,22 @@ func (p *Physical) Frame(id FrameID) *Frame { return p.frame(id) }
 
 func (p *Physical) frame(id FrameID) *Frame {
 	if id < 0 || int(id) >= len(p.frames) {
-		panic(fmt.Sprintf("mem: frame id %d out of range", id))
+		badFrame(id)
 	}
 	return &p.frames[id]
 }
+
+// badFrame lives outside frame so the range check stays within the inlining
+// budget; per-page loops otherwise pay a call for every Frame lookup.
+func badFrame(id FrameID) {
+	panic(fmt.Sprintf("mem: frame id %d out of range", id))
+}
+
+// Frames exposes the frame table itself for hot-path iteration: per-page
+// loops index it directly instead of calling Frame per page. The slice
+// aliases the live table — entries may be mutated, but the slice itself must
+// not be grown or retained across Physical lifetimes.
+func (p *Physical) Frames() []Frame { return p.frames }
 
 // Resident reports how many frames pid owns.
 func (p *Physical) Resident(pid int) int { return p.resident[pid] }

@@ -174,6 +174,11 @@ type Process struct {
 	// value allocates a closure per call, and resume is scheduled once per
 	// compute chunk and fault on the simulator's hottest path.
 	resumeFn func()
+
+	// ffCollapsed is how many would-be compute-resume events the pending
+	// fast-forwarded touch run absorbed (see stepTouch); credited to the
+	// engine's logical event count when that resume fires.
+	ffCollapsed int
 }
 
 // New creates a process engine for pid, whose address space must already
@@ -261,6 +266,10 @@ func (p *Process) Stop() { p.running = false }
 
 // resume is the completion callback for every blocking event.
 func (p *Process) resume() {
+	if n := p.ffCollapsed; n != 0 {
+		p.ffCollapsed = 0
+		p.eng.CountCollapsed(n)
+	}
 	p.blocked = false
 	if p.running && !p.done {
 		p.advance()
@@ -335,26 +344,84 @@ func (p *Process) stepTouch() bool {
 		p.ph = phaseIterCompute
 		return false
 	}
-	max := end - p.cursor
-	if max > p.ChunkPages {
-		max = p.ChunkPages
-	}
+	// Touch-run fast-forwarding: charge as many chunks as provably behave
+	// exactly like the one-event-per-chunk schedule, then block on a single
+	// merged resume. A chunk beyond the first may be folded in only when the
+	// resume that would have fired it is the queue's next event — no queued
+	// event has an earlier timestamp (or the same timestamp, where the
+	// earlier-scheduled event's smaller seq makes it fire first). Then no
+	// policy decision, reclaim, stop, crash or audit-bearing step can run
+	// inside the window: residency cannot change, no RNG is drawn, and the
+	// merged resume at the window's end is indistinguishable from the last
+	// chunk's. Touches are stamped with the per-chunk times (and costs are
+	// rounded per chunk) so frame ages and ComputeTime match the un-collapsed
+	// schedule bit for bit; the loop bails to the ordinary paths on the first
+	// non-resident page (fault) and at the end of the touch phase, and the
+	// folded event count is credited via Engine.CountCollapsed when the
+	// merged resume fires.
+	now := p.eng.Now()
+	nextT, hasNext := p.eng.NextEventTime()
 	write := seg.Write || (p.beh.InitWrite && p.iter == 0)
-	run := p.v.ResidentRun(p.pid, p.cursor, max)
-	if run == 0 {
-		p.block()
-		p.v.Fault(p.pid, p.cursor, write, p.resumeFn)
-		return true
+	var total sim.Duration
+	chunks := 0
+	for {
+		max := end - p.cursor
+		if max > p.ChunkPages {
+			max = p.ChunkPages
+		}
+		run := p.v.TouchRun(p.pid, p.cursor, max, write, now.Add(total))
+		if run == 0 {
+			if chunks == 0 {
+				p.block()
+				p.v.Fault(p.pid, p.cursor, write, p.resumeFn)
+				return true
+			}
+			break // merged resume faults this page through the normal path
+		}
+		p.cursor += run
+		chunks++
+		cost := (sim.Duration(run) * p.beh.TouchCost).Scale(p.iterScale)
+		if p.SlowFactor != 1 {
+			cost = cost.Scale(p.SlowFactor)
+		}
+		p.stats.ComputeTime += cost
+		total += cost
+		if hasNext && nextT <= now.Add(total) {
+			break // an external event interleaves before the resume
+		}
+		// The resume at now+total would fire next: fast-forward through the
+		// free boundary steps it would take, stopping at the phase end (the
+		// merged resume performs the phase switch, as the last chunk's
+		// resume does today).
+		stay := true
+		for p.cursor >= end {
+			p.pass++
+			if p.pass < seg.Passes {
+				p.cursor = seg.Offset
+				continue
+			}
+			p.pass = 0
+			p.segIdx++
+			if p.segIdx < len(p.beh.Segments) {
+				seg = p.beh.Segments[p.segIdx]
+				end = seg.Offset + seg.Pages
+				p.cursor = seg.Offset
+				write = seg.Write || (p.beh.InitWrite && p.iter == 0)
+				continue
+			}
+			p.segIdx = 0
+			p.cursor = p.beh.Segments[0].Offset
+			p.ph = phaseIterCompute
+			stay = false
+			break
+		}
+		if !stay {
+			break
+		}
 	}
-	p.v.TouchResident(p.pid, p.cursor, run, write)
-	p.cursor += run
-	cost := (sim.Duration(run) * p.beh.TouchCost).Scale(p.iterScale)
-	if p.SlowFactor != 1 {
-		cost = cost.Scale(p.SlowFactor)
-	}
-	p.stats.ComputeTime += cost
+	p.ffCollapsed = chunks - 1
 	p.block()
-	p.eng.ScheduleDetached(cost, p.resumeFn)
+	p.eng.ScheduleDetached(total, p.resumeFn)
 	return true
 }
 

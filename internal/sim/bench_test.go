@@ -44,3 +44,71 @@ func BenchmarkCancelHeavy(b *testing.B) {
 		}
 	}
 }
+
+// The three BenchmarkEngine* benchmarks below are recorded in BENCH_sim.json
+// (cmd/benchjson) so queue-level regressions surface directly, not only
+// through the figure-level benchmarks.
+
+// BenchmarkEngineSchedule measures the cancellable schedule/fire cycle with a
+// near-future spread that keeps the calendar wheel partially full.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%2048), fn)
+		if i%128 == 127 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineDetachedChurn measures the allocation-free detached path:
+// a self-rescheduling chain plus a batch of same-time events per round, the
+// page-touch / disk-transfer pattern that dominates the simulator.
+func BenchmarkEngineDetachedChurn(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		for j := 0; j < 4 && n < b.N; j++ {
+			n++
+			e.ScheduleDetached(Duration(n%97), func() {})
+		}
+		if n < b.N {
+			e.ScheduleDetached(10, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.ScheduleDetached(1, step)
+	e.Run()
+}
+
+// BenchmarkEngineMixedCancel measures interleaved schedule/cancel/fire with
+// both near (wheel) and far (spill-tier) timers, the policy-timer workload
+// where lazy compaction must keep cancelled events from accumulating.
+func BenchmarkEngineMixedCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	var pending []*Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := Duration(i % 1024)
+		if i%7 == 0 {
+			d = Duration(i%3+1) * 100 * Millisecond // beyond the wheel span
+		}
+		pending = append(pending, e.Schedule(d, fn))
+		if i%3 == 0 {
+			pending[len(pending)/2].Cancel()
+		}
+		if i%256 == 255 {
+			e.RunFor(512)
+		}
+		if len(pending) >= 1024 {
+			pending = pending[512:]
+		}
+	}
+	e.Run()
+}

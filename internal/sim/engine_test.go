@@ -279,6 +279,165 @@ func TestQuickCancelSubset(t *testing.T) {
 	}
 }
 
+// Regression: Pending must exclude cancelled-but-unpopped events. The old
+// heap decremented its count only when a cancelled event reached the top.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]*Event, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(Duration(10+i), func() {})
+	}
+	// One far-future event exercises the spill tier's accounting too.
+	far := e.Schedule(10*Second, func() {})
+	if e.Pending() != 11 {
+		t.Fatalf("Pending = %d, want 11", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	far.Cancel()
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after 5 cancels = %d, want 6", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", e.Pending())
+	}
+	if e.Executed() != 6 {
+		t.Fatalf("Executed = %d, want 6", e.Executed())
+	}
+}
+
+// Regression: RunUntil peeks the head and then steps; each event must fire
+// exactly once no matter how the run is chopped into RunUntil windows.
+func TestRunUntilFiresEachEventOnce(t *testing.T) {
+	e := NewEngine(1)
+	count := make([]int, 100)
+	for i := range count {
+		i := i
+		e.Schedule(Duration(i), func() { count[i]++ })
+	}
+	for limit := Time(0); limit <= 100; limit += 7 {
+		e.RunUntil(limit)
+	}
+	e.Run()
+	for i, c := range count {
+		if c != 1 {
+			t.Fatalf("event %d fired %d times", i, c)
+		}
+	}
+	if e.Executed() != 100 {
+		t.Fatalf("Executed = %d, want 100", e.Executed())
+	}
+}
+
+// Cancelling more events than remain live triggers compaction; the survivors
+// must still fire exactly once, in order.
+func TestCancelCompaction(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]*Event, 400)
+	for i := range evs {
+		evs[i] = e.Schedule(Duration(i%97+1), func() {})
+	}
+	live := 0
+	for i, ev := range evs {
+		if i%8 == 0 {
+			live++
+			continue
+		}
+		if !ev.Cancel() {
+			t.Fatalf("Cancel of pending event %d failed", i)
+		}
+	}
+	if e.Pending() != live {
+		t.Fatalf("Pending after mass cancel = %d, want %d", e.Pending(), live)
+	}
+	var fired []Time
+	for i, ev := range evs {
+		if i%8 == 0 && !ev.Pending() {
+			t.Fatalf("live event %d lost by compaction", i)
+		}
+	}
+	eFired := 0
+	e.SetStepHook(func(now Time, weight int) { fired = append(fired, now); eFired += weight })
+	e.Run()
+	if eFired != live || len(fired) != live {
+		t.Fatalf("fired %d events (hook weight %d), want %d", len(fired), eFired, live)
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("fire times not sorted: %v", fired)
+	}
+}
+
+// CountCollapsed adds the collapsed run's weight to Executed and to the step
+// hook's fired argument.
+func TestCountCollapsedWeighting(t *testing.T) {
+	e := NewEngine(1)
+	type step struct {
+		at Time
+		w  int
+	}
+	var steps []step
+	e.SetStepHook(func(now Time, fired int) { steps = append(steps, step{now, fired}) })
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() { e.CountCollapsed(3) })
+	e.Schedule(3, func() {})
+	e.Run()
+	want := []step{{1, 1}, {2, 4}, {3, 1}}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", steps, want)
+		}
+	}
+	if e.Executed() != 6 {
+		t.Fatalf("Executed = %d, want 6 (3 physical + 3 collapsed)", e.Executed())
+	}
+}
+
+// Events beyond the wheel's span land in the spill tier and rotate back into
+// the wheel in order; a long idle gap then re-anchors the wheel.
+func TestSpillRotationOrder(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	rec := func() { fired = append(fired, e.Now()) }
+	delays := []Duration{
+		5 * Second, 100 * Microsecond, 90 * Millisecond, 1 * Millisecond,
+		3 * Second, 70 * Millisecond, 65536 * Microsecond, 2 * Second,
+	}
+	for _, d := range delays {
+		e.Schedule(d, rec)
+	}
+	e.Run()
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d of %d events", len(fired), len(delays))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("fire order not sorted: %v", fired)
+	}
+	// Far-future FIFO ties survive the spill tier and rotation.
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("spill ties fired out of order: %v", order)
+		}
+	}
+	// Re-anchor: after the long gap the next near event must not misplace.
+	e.Schedule(10*Microsecond, rec)
+	before := e.Now()
+	e.Run()
+	if e.Now() != before.Add(10*Microsecond) {
+		t.Fatalf("post-gap event fired at %v, want %v", e.Now(), before.Add(10*Microsecond))
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	tm := Time(0).Add(3 * Second)
 	if tm != Time(3_000_000) {

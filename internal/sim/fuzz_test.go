@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// The fuzz oracle is the priority queue the calendar queue replaced: a
+// container/heap ordered by (at, seq). Driving both with the same script and
+// demanding identical firing order, clocks and pending counts pins the
+// bucket/spill/rotation machinery to the old total order.
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// FuzzEngineOrder interprets the input as a script of (op, arg, arg) triples
+// — schedule, schedule-detached, cancel, run-until — executed against both
+// the Engine and the reference heap, and asserts identical firing order,
+// firing clocks, pending counts and executed totals.
+func FuzzEngineOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 0, 0, 10, 3, 0, 255})
+	f.Add([]byte{0, 1, 0, 1, 1, 0, 2, 0, 0, 3, 255, 255})
+	f.Add([]byte{128, 255, 255, 0, 0, 1, 129, 200, 0, 3, 255, 255, 2, 1, 0})
+	f.Add([]byte{0, 0, 5, 2, 0, 0, 2, 0, 0, 1, 0, 7, 3, 0, 20})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		e := NewEngine(1)
+		var q refQueue
+		type rec struct {
+			id int
+			at Time
+		}
+		var got, want []rec
+		alive := make(map[int]bool)     // scheduled, not yet fired or cancelled
+		cancelled := make(map[int]bool) // lazily skipped by the reference pop
+		handles := make(map[int]*Event)
+		var handleIDs []int
+		seq := uint64(0)
+		nextID := 0
+		refNow := Time(0)
+		record := func(id int) func() {
+			return func() { got = append(got, rec{id, e.Now()}) }
+		}
+		drainRef := func(limit Time, all bool) {
+			for q.Len() > 0 {
+				top := q[0]
+				if cancelled[top.id] {
+					heap.Pop(&q)
+					continue
+				}
+				if !all && top.at > limit {
+					break
+				}
+				heap.Pop(&q)
+				refNow = top.at
+				want = append(want, rec{top.id, top.at})
+				delete(alive, top.id)
+			}
+			if !all && limit > refNow {
+				refNow = limit
+			}
+		}
+		for pc := 0; pc+2 < len(script); pc += 3 {
+			op, a, b := script[pc], script[pc+1], script[pc+2]
+			delay := Duration(uint16(a)<<8 | uint16(b)) // 0–65535 µs: one wheel span
+			if op >= 128 {
+				delay *= 64 // up to ~4.2 s: deep into the spill tier
+			}
+			switch op % 4 {
+			case 0: // cancellable schedule
+				seq++
+				id := nextID
+				nextID++
+				handles[id] = e.Schedule(delay, record(id))
+				handleIDs = append(handleIDs, id)
+				alive[id] = true
+				heap.Push(&q, &refEvent{at: refNow.Add(delay), seq: seq, id: id})
+			case 1: // detached schedule (free-list path, not cancellable)
+				seq++
+				id := nextID
+				nextID++
+				e.ScheduleDetached(delay, record(id))
+				alive[id] = true
+				heap.Push(&q, &refEvent{at: refNow.Add(delay), seq: seq, id: id})
+			case 2: // cancel an arbitrary earlier handle
+				if len(handleIDs) == 0 {
+					continue
+				}
+				id := handleIDs[int(a)%len(handleIDs)]
+				wantOK := alive[id]
+				if gotOK := handles[id].Cancel(); gotOK != wantOK {
+					t.Fatalf("Cancel(%d) = %v, reference says %v", id, gotOK, wantOK)
+				}
+				if wantOK {
+					cancelled[id] = true
+					delete(alive, id)
+				}
+			case 3: // run until refNow + delay
+				target := refNow.Add(delay)
+				e.RunUntil(target)
+				drainRef(target, false)
+				if e.Now() != refNow {
+					t.Fatalf("clock after RunUntil(%v) = %v, reference %v", target, e.Now(), refNow)
+				}
+				if e.Pending() != len(alive) {
+					t.Fatalf("Pending = %d, reference %d", e.Pending(), len(alive))
+				}
+			}
+		}
+		e.Run()
+		drainRef(0, true)
+		if e.Now() != refNow {
+			t.Fatalf("final clock %v, reference %v", e.Now(), refNow)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("fired %d events, reference fired %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fire %d: engine (id=%d at=%v), reference (id=%d at=%v)",
+					i, got[i].id, got[i].at, want[i].id, want[i].at)
+			}
+		}
+		if e.Executed() != uint64(len(want)) {
+			t.Fatalf("Executed = %d, want %d", e.Executed(), len(want))
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("Pending after drain = %d", e.Pending())
+		}
+	})
+}

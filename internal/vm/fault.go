@@ -14,26 +14,42 @@ import (
 // whole runs of compute in one event.
 func (v *VM) ResidentRun(pid, vpage, max int) int {
 	as := v.mustProc(pid)
-	n := 0
-	for vpage+n < as.numPages && n < max && as.IsResident(vpage+n) {
-		n++
+	end := vpage + max
+	if end > as.numPages {
+		end = as.numPages
 	}
-	return n
+	frames, inFlight := as.frames, as.inFlight
+	vp := vpage
+	for vp < end && frames[vp] != mem.NoFrame && !inFlight[vp] {
+		vp++
+	}
+	return vp - vpage
 }
 
 // TouchResident marks [vpage, vpage+n) referenced (and dirty when write is
 // set), updating per-page ages and the working-set estimator. Every page in
 // the range must be resident.
 func (v *VM) TouchResident(pid, vpage, n int, write bool) {
+	v.TouchResidentAt(pid, vpage, n, write, v.eng.Now())
+}
+
+// TouchResidentAt is TouchResident with an explicit reference timestamp.
+// The process engine's touch-run fast-forwarding uses it to apply a chunk's
+// touches with the clock value the chunk would have seen had its compute
+// events fired one by one, so age ordering (frame LastUse) is identical to
+// the un-collapsed schedule. at must not precede the current clock.
+func (v *VM) TouchResidentAt(pid, vpage, n int, write bool, at sim.Time) {
 	as := v.mustProc(pid)
-	now := v.eng.Now()
-	for i := 0; i < n; i++ {
-		vp := vpage + i
-		fid := as.frames[vp]
-		if fid == mem.NoFrame || as.inFlight[vp] {
+	now := at
+	frames, inFlight := as.frames, as.inFlight
+	touchGen, curGen := as.touchGen, as.curGen
+	table := v.phys.Frames()
+	for vp := vpage; vp < vpage+n; vp++ {
+		fid := frames[vp]
+		if fid == mem.NoFrame || inFlight[vp] {
 			panic(fmt.Sprintf("vm: TouchResident(%d, %d): page not resident", pid, vp))
 		}
-		f := v.phys.Frame(fid)
+		f := &table[fid]
 		f.Referenced = true
 		f.LastUse = now
 		if write {
@@ -41,13 +57,58 @@ func (v *VM) TouchResident(pid, vpage, n int, write bool) {
 				as.bgClean[vp] = false
 				v.stats.WastedBGWrite++
 			}
-			f.Dirty = true
+			if !f.Dirty {
+				f.Dirty = true
+				as.setDirtyBit(vp)
+			}
 		}
-		if as.touchGen[vp] != as.curGen {
-			as.touchGen[vp] = as.curGen
+		if touchGen[vp] != curGen {
+			touchGen[vp] = curGen
 			as.touched++
 		}
 	}
+}
+
+// TouchRun touches up to max consecutive resident pages starting at vpage
+// in one pass, stopping at the first non-resident page. It is exactly
+// ResidentRun followed by TouchResidentAt over the reported run (same pages,
+// same order, same timestamp) and returns the run length; the process
+// engine's touch step uses it to avoid walking each chunk twice.
+func (v *VM) TouchRun(pid, vpage, max int, write bool, at sim.Time) int {
+	as := v.mustProc(pid)
+	end := vpage + max
+	if end > as.numPages {
+		end = as.numPages
+	}
+	frames, inFlight := as.frames, as.inFlight
+	touchGen, curGen := as.touchGen, as.curGen
+	table := v.phys.Frames()
+	vp := vpage
+	for vp < end {
+		fid := frames[vp]
+		if fid == mem.NoFrame || inFlight[vp] {
+			break
+		}
+		f := &table[fid]
+		f.Referenced = true
+		f.LastUse = at
+		if write {
+			if as.bgClean[vp] {
+				as.bgClean[vp] = false
+				v.stats.WastedBGWrite++
+			}
+			if !f.Dirty {
+				f.Dirty = true
+				as.setDirtyBit(vp)
+			}
+		}
+		if touchGen[vp] != curGen {
+			touchGen[vp] = curGen
+			as.touched++
+		}
+		vp++
+	}
+	return vp - vpage
 }
 
 // Fault handles a reference to vpage that the caller found non-resident (a

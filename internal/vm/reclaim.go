@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/disk"
@@ -21,6 +22,47 @@ type victim struct {
 type aged struct {
 	vp   int
 	last sim.Time
+}
+
+// agedLess orders the write-back selection min-heap by (LastUse, descending
+// vpage): the root is the oldest entry of the kept set, displaced first.
+// These are package-level (not closures inside WriteBackDirty) so the
+// compiler can inline the comparison and keep the heap slice off the heap.
+func agedLess(a, b aged) bool {
+	if a.last != b.last {
+		return a.last < b.last
+	}
+	return a.vp > b.vp
+}
+
+func agedSiftUp(heap []aged, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !agedLess(heap[i], heap[parent]) {
+			break
+		}
+		heap[i], heap[parent] = heap[parent], heap[i]
+		i = parent
+	}
+}
+
+func agedSiftDown(heap []aged) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(heap) && agedLess(heap[l], heap[small]) {
+			small = l
+		}
+		if r < len(heap) && agedLess(heap[r], heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		heap[i], heap[small] = heap[small], heap[i]
+		i = small
+	}
 }
 
 // dirtyBatch groups one process's dirty victims for a coalesced write-back.
@@ -234,19 +276,21 @@ func (v *VM) clockSweep(as *AddressSpace, scanMax, max int, out *[]victim, pass 
 		return 0, 0
 	}
 	hand := v.hands[as.pid]
+	frames, inFlight := as.frames, as.inFlight
+	table := v.phys.Frames()
 	for step := 0; step < as.numPages && got < max && scanned < scanMax; step++ {
 		vp := hand
 		hand++
 		if hand >= as.numPages {
 			hand = 0
 		}
-		fid := as.frames[vp]
-		if fid == mem.NoFrame || as.inFlight[vp] || pass.has(as.pid, vp) {
+		fid := frames[vp]
+		if fid == mem.NoFrame || inFlight[vp] || pass.has(as.pid, vp) {
 			continue
 		}
 		scanned++
 		pass.scanned++
-		f := v.phys.Frame(fid)
+		f := &table[fid]
 		if f.Referenced {
 			// Referenced since the last revolution: rejuvenate.
 			f.Referenced = false
@@ -295,11 +339,12 @@ func (v *VM) oldestOf(as *AddressSpace, max int, out []victim, pass *reclaimPass
 		return out
 	}
 	cand := v.agedScratch[:0]
+	table := v.phys.Frames()
 	for vp, fid := range as.frames {
 		if fid == mem.NoFrame || as.inFlight[vp] || pass.has(as.pid, vp) {
 			continue
 		}
-		cand = append(cand, aged{vp, v.phys.Frame(fid).LastUse})
+		cand = append(cand, aged{vp, table[fid].LastUse})
 	}
 	pass.scanned += len(cand)
 	sort.Slice(cand, func(i, j int) bool {
@@ -339,6 +384,7 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 		}
 		f := v.phys.Frame(fid)
 		if f.Dirty {
+			as.clearDirtyBit(vp)
 			i, ok := batchOf[as]
 			if !ok {
 				i = len(batches)
@@ -475,11 +521,12 @@ func (v *VM) ReclaimFrom(pid, max int) int {
 func (v *VM) DirtyPages(pid int) int {
 	as := v.mustProc(pid)
 	n := 0
+	table := v.phys.Frames()
 	for vp, fid := range as.frames {
 		if fid == mem.NoFrame || as.inFlight[vp] {
 			continue
 		}
-		if v.phys.Frame(fid).Dirty {
+		if table[fid].Dirty {
 			n++
 		}
 	}
@@ -503,58 +550,26 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 	}
 	// Select the `max` youngest dirty pages with a bounded min-heap keyed
 	// on LastUse (root = oldest of the kept set, displaced by younger
-	// pages). O(dirty·log max) per pass — the daemon runs every ~100 ms,
-	// so a full sort of the dirty set would dominate the simulation.
+	// pages): O(dirty·log max) per pass — the daemon runs every ~100 ms, so
+	// a full sort of the dirty set would dominate the simulation. The dirty
+	// bitmap supplies the candidates directly (ascending vpage, like the
+	// address-space scan it replaces), so the pass costs nothing per clean
+	// page.
 	heap := v.agedScratch[:0]
-	less := func(a, b aged) bool { // min-heap by (last, -vp)
-		if a.last != b.last {
-			return a.last < b.last
-		}
-		return a.vp > b.vp
-	}
-	siftUp := func(i int) {
-		for i > 0 {
-			parent := (i - 1) / 2
-			if !less(heap[i], heap[parent]) {
-				break
+	frames := as.frames
+	table := v.phys.Frames()
+	for wi, word := range as.dirtyMap {
+		for word != 0 {
+			vp := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			entry := aged{vp, table[frames[vp]].LastUse}
+			if len(heap) < max {
+				heap = append(heap, entry)
+				agedSiftUp(heap, len(heap)-1)
+			} else if agedLess(heap[0], entry) {
+				heap[0] = entry
+				agedSiftDown(heap)
 			}
-			heap[i], heap[parent] = heap[parent], heap[i]
-			i = parent
-		}
-	}
-	siftDown := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			small := i
-			if l < len(heap) && less(heap[l], heap[small]) {
-				small = l
-			}
-			if r < len(heap) && less(heap[r], heap[small]) {
-				small = r
-			}
-			if small == i {
-				break
-			}
-			heap[i], heap[small] = heap[small], heap[i]
-			i = small
-		}
-	}
-	for vp, fid := range as.frames {
-		if fid == mem.NoFrame || as.inFlight[vp] {
-			continue
-		}
-		f := v.phys.Frame(fid)
-		if !f.Dirty {
-			continue
-		}
-		entry := aged{vp, f.LastUse}
-		if len(heap) < max {
-			heap = append(heap, entry)
-			siftUp(len(heap) - 1)
-		} else if less(heap[0], entry) {
-			heap[0] = entry
-			siftDown()
 		}
 	}
 	if len(heap) == 0 {
@@ -564,8 +579,9 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 	pages := v.getGroup()
 	for _, d := range heap {
 		vp := d.vp
-		f := v.phys.Frame(as.frames[vp])
+		f := &table[frames[vp]]
 		f.Dirty = false
+		as.clearDirtyBit(vp)
 		as.bgClean[vp] = true
 		v.queueWriteBack(as, vp)
 		pages = append(pages, vp)

@@ -141,6 +141,16 @@ type AddressSpace struct {
 	region    swap.Region
 	resident  int
 
+	// dirtyMap has one bit per vpage, set exactly when the page is resident
+	// (frame mapped, no read in flight) and its frame is dirty. It lets the
+	// background writer enumerate the dirty set directly instead of scanning
+	// the whole address space every pass. Maintained at the clean/dirty
+	// transitions: write touches set it, write-back selection and dirty
+	// eviction clear it, and a crash clears the whole map (pages in flight
+	// are never dirty — only non-resident pages are read in, onto fresh
+	// clean frames). Validate cross-checks it against the frame table.
+	dirtyMap []uint64
+
 	// Working-set estimation: distinct pages touched this quantum.
 	touchGen   []uint32
 	curGen     uint32
@@ -182,6 +192,11 @@ func (as *AddressSpace) OnDisk(vpage int) bool { return as.backed(vpage) }
 func (as *AddressSpace) backed(vpage int) bool {
 	return as.onDisk[vpage] || as.wbPending[vpage] > 0
 }
+
+// setDirtyBit and clearDirtyBit maintain the dirty-page bitmap; callers
+// invoke them exactly at the clean/dirty transitions of resident pages.
+func (as *AddressSpace) setDirtyBit(vp int)   { as.dirtyMap[vp>>6] |= 1 << (uint(vp) & 63) }
+func (as *AddressSpace) clearDirtyBit(vp int) { as.dirtyMap[vp>>6] &^= 1 << (uint(vp) & 63) }
 
 // Frame reports the frame mapped at vpage (NoFrame when not resident).
 // Audit accessor.
@@ -349,6 +364,7 @@ func (v *VM) NewProcess(pid, numPages int) (*AddressSpace, error) {
 		bgClean:   make([]bool, numPages),
 		inFlight:  make([]bool, numPages),
 		wbPending: make([]uint16, numPages),
+		dirtyMap:  make([]uint64, (numPages+63)/64),
 		region:    region,
 		touchGen:  make([]uint32, numPages),
 		curGen:    1,
@@ -453,6 +469,7 @@ func (v *VM) Crash() {
 				as.wbPending[vp] = 0
 			}
 		}
+		clear(as.dirtyMap)
 		as.resident = 0
 		// Collect waiters in vpage order, then fire after all bookkeeping is
 		// consistent: a resumed process may immediately re-fault.
@@ -561,6 +578,15 @@ func (v *VM) Validate() error {
 		}
 		if res != as.resident {
 			return fmt.Errorf("vm: pid %d resident counter %d, PTEs say %d", pid, as.resident, res)
+		}
+		for vp := 0; vp < as.numPages; vp++ {
+			want := false
+			if fid := as.frames[vp]; fid != mem.NoFrame && !as.inFlight[vp] {
+				want = v.phys.Frame(fid).Dirty
+			}
+			if got := as.dirtyMap[vp>>6]&(1<<(uint(vp)&63)) != 0; got != want {
+				return fmt.Errorf("vm: pid %d vpage %d dirty bit %v, frame table says %v", pid, vp, got, want)
+			}
 		}
 		if v.phys.Resident(pid) != mapped {
 			return fmt.Errorf("vm: pid %d phys resident %d, PTEs say %d", pid, v.phys.Resident(pid), mapped)
