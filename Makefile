@@ -42,22 +42,28 @@ fuzz:
 
 # The everything gate: vet, build, race tests, the serial-vs-parallel
 # equivalence test under the race detector (the determinism contract of the
-# parallel experiment runner), the audited policy matrix + fault soak, fuzz
-# smokes of randomised audited runs and of event-queue ordering, and the
+# parallel experiment runner), the audited policy matrix + fault soak, the
+# live-observer smoke (all three HTTP endpoints scraped mid-run), fuzz
+# smokes of randomised audited runs and of event-queue ordering, the
 # bench-regression gate (Fig7Serial + the engine microbenchmarks vs the
-# committed BENCH_sim.json, so event-core wins cannot silently erode).
+# committed BENCH_sim.json, so event-core wins cannot silently erode), and
+# the tracer-overhead gate (RunTraced may cost at most 10% over
+# RunObsEnabled — spans and ledgers ride the existing instrument points).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestParallelEquivalence|TestWorkloadConcurrent' -count 1 .
 	$(GO) test -race -run 'TestAuditPolicyMatrix|TestAuditFaultSoak' -count 1 .
+	$(GO) test -race -run 'TestHTTPObserverServes|TestTraceDeterministicAcrossParallel' -count 1 .
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime 10s ./internal/sim
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$' -benchtime 1x -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
 	  | bin/benchjson -compare BENCH_sim.json
+	$(GO) test -run NONE -bench 'BenchmarkRunObsEnabled$$|BenchmarkRunTraced$$' -benchmem -benchtime 2s -count 5 . \
+	  | bin/benchjson -overhead BenchmarkRunTraced/BenchmarkRunObsEnabled -threshold 10
 
 # Simulator benchmark suite with allocation stats, summarised into the
 # machine-readable BENCH_sim.json (name, ns/op, B/op, allocs/op). The
@@ -66,11 +72,14 @@ check:
 # single-iteration warmup noise. The PolicyRun/PolicyRunAudited pair yields
 # a derived PolicyRunAuditOverhead record pricing the invariant auditor;
 # the BenchmarkEngine* rows record the event queue itself so queue-level
-# regressions show up without a figure run.
+# regressions show up without a figure run. The BenchmarkRun* trio records
+# the observability stack's price ladder (disabled / events+metrics /
+# full tracing), and BenchmarkFigAttribution the ledger-driven figure.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	{ $(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun' -benchmem . \
+	  && $(GO) test -run NONE -bench 'BenchmarkRunObs|BenchmarkRunTraced' -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
 	  | bin/benchjson -o BENCH_sim.json
 

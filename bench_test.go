@@ -106,6 +106,35 @@ func BenchmarkFig9PolicyAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkFigAttribution regenerates the attribution figure: serial LU
+// class B under every policy combination with rank ledgers on, reporting
+// where the reclaimed time was going (the switch bucket orig vs adaptive).
+func BenchmarkFigAttribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.AttributionStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var origSwitch, adaptiveSwitch float64
+		for _, r := range rows {
+			for _, j := range r.Jobs {
+				switch r.Policy {
+				case "orig":
+					origSwitch += j.Attr.Switch.Seconds()
+				case "so/ao/ai/bg":
+					adaptiveSwitch += j.Attr.Switch.Seconds()
+				}
+			}
+		}
+		if adaptiveSwitch >= origSwitch {
+			b.Fatalf("switch time did not shrink: orig %.0fs vs adaptive %.0fs",
+				origSwitch, adaptiveSwitch)
+		}
+		b.ReportMetric(origSwitch, "orig_switch_s")
+		b.ReportMetric(adaptiveSwitch, "adaptive_switch_s")
+	}
+}
+
 // BenchmarkBGFractionAblation reproduces the §3.4 tuning claim: background
 // writing over roughly the last 10% of the quantum works best.
 func BenchmarkBGFractionAblation(b *testing.B) {

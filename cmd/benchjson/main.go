@@ -17,6 +17,11 @@
 // from the baseline are skipped). `make check` runs it against the committed
 // BENCH_sim.json so queue- or figure-level slowdowns fail the gate.
 //
+// With -overhead NEW/BASE the tool gates one stdin benchmark against
+// another from the same stream: it fails when NEW's ns/op exceeds BASE's by
+// more than -threshold percent. `make check` uses it to price the span
+// tracer (BenchmarkRunTraced vs BenchmarkRunObsEnabled, ≤10%).
+//
 // Non-benchmark lines (the goos/pkg header, PASS, ok) pass through to
 // stderr so the surrounding make target stays readable.
 package main
@@ -47,7 +52,8 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	compare := flag.String("compare", "", "baseline BENCH_sim.json: gate mode — fail when an stdin benchmark's ns/op regresses past -threshold percent (writes nothing)")
-	threshold := flag.Float64("threshold", 25, "ns/op regression tolerance in percent for -compare")
+	overhead := flag.String("overhead", "", "NEW/BASE benchmark names, both from stdin: gate mode — fail when NEW's ns/op exceeds BASE's by more than -threshold percent (writes nothing)")
+	threshold := flag.Float64("threshold", 25, "ns/op regression tolerance in percent for -compare and -overhead")
 	flag.Parse()
 
 	var results []Result
@@ -70,6 +76,12 @@ func main() {
 	}
 	if *compare != "" {
 		if err := compareAgainst(*compare, results, *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *overhead != "" {
+		if err := gateOverhead(*overhead, results, *threshold); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -137,6 +149,51 @@ func compareAgainst(path string, results []Result, threshold float64) error {
 		return fmt.Errorf("ns/op regression past threshold:\n  %s", strings.Join(regressions, "\n  "))
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n", compared, threshold, path)
+	return nil
+}
+
+// gateOverhead prices one stdin benchmark against another: pair names them
+// as NEW/BASE (split at the first slash, so neither may be a sub-benchmark)
+// and the gate fails when NEW's ns/op exceeds BASE's by more than threshold
+// percent. Both must appear on stdin — comparing across runs is -compare's
+// job. With `go test -count N` each name appears N times; the gate takes
+// the per-name minimum, the standard noise-robust estimate (the fastest
+// observation bounds the true cost on a quiet machine from above).
+func gateOverhead(pair string, results []Result, threshold float64) error {
+	newName, baseName, ok := strings.Cut(pair, "/")
+	if !ok || newName == "" || baseName == "" {
+		return fmt.Errorf("-overhead wants NEW/BASE benchmark names, got %q", pair)
+	}
+	minNs := func(name string) (float64, error) {
+		best := -1.0
+		for _, r := range results {
+			if r.Name != name || r.NsPerOp <= 0 {
+				continue
+			}
+			if best < 0 || r.NsPerOp < best {
+				best = r.NsPerOp
+			}
+		}
+		if best < 0 {
+			return 0, fmt.Errorf("benchmark %s not found on stdin", name)
+		}
+		return best, nil
+	}
+	newNs, err := minNs(newName)
+	if err != nil {
+		return err
+	}
+	baseNs, err := minNs(baseName)
+	if err != nil {
+		return err
+	}
+	pct := 100 * (newNs - baseNs) / baseNs
+	fmt.Fprintf(os.Stderr, "benchjson: %s %14.0f ns/op vs %s %14.0f ns/op: %+.1f%% (threshold %.0f%%)\n",
+		newName, newNs, baseName, baseNs, pct, threshold)
+	if pct > threshold {
+		return fmt.Errorf("%s overhead %.1f%% over %s exceeds threshold %.0f%%",
+			newName, pct, baseName, threshold)
+	}
 	return nil
 }
 

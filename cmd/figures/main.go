@@ -26,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "all", "which figure to regenerate: 6, 7, 8, 9, ablations or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 6, 7, 8, 9, attribution, ablations or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quantum := flag.Duration("quantum", 5*time.Minute, "gang scheduling quantum")
 	md := flag.String("md", "", "write the full paper-vs-measured markdown report to this file ('-' for stdout)")
@@ -51,16 +51,21 @@ func main() {
 
 	if *md != "" {
 		out := os.Stdout
+		var f *os.File
 		if *md != "-" {
-			f, err := os.Create(*md)
-			if err != nil {
+			var err error
+			if f, err = os.Create(*md); err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
 			out = f
 		}
 		if err := expt.WriteMarkdownReport(cfg, out); err != nil {
 			log.Fatal(err)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing %s: %v", *md, err)
+			}
 		}
 		return
 	}
@@ -111,6 +116,15 @@ func main() {
 			return err
 		}
 		fmt.Println(expt.FormatPolicyTable("Figure 9 — LU policy ablation", rows))
+		return nil
+	})
+	run("attribution", func() error {
+		rows, err := expt.AttributionStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatAttributionTable(
+			"Attribution — where each job's wall time goes (serial LU class B)", rows))
 		return nil
 	})
 	run("ablations", func() error {

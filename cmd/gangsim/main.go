@@ -24,10 +24,15 @@
 //
 // Observability: -events streams every structured simulation event to a
 // JSONL file (replayable with pagetrace -replay), -metrics writes the final
-// metric values in the Prometheus text exposition format, and -json emits
-// the run result (or the comparison, under -compare) as JSON on stdout
-// instead of the human-readable report. -cpuprofile / -memprofile capture
-// pprof profiles of the simulator itself.
+// metric values in the Prometheus text exposition format, -trace-out
+// exports the run's causal spans as Chrome trace_event JSON (loadable in
+// Perfetto or chrome://tracing), -attrib decomposes each job's wall time
+// into {compute, barrier, fault, switch, queue, down}, and -http serves the
+// live run observer (/metrics, /events, /progress) while the simulation is
+// in flight (-http-linger keeps it up afterwards). -json emits the run
+// result (or the comparison, under -compare) as JSON on stdout instead of
+// the human-readable report. -cpuprofile / -memprofile capture pprof
+// profiles of the simulator itself.
 package main
 
 import (
@@ -56,7 +61,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	app := flag.String("app", "LU", "benchmark: LU, SP, CG, IS or MG")
 	class := flag.String("class", "B", "NPB data class (A, B or C)")
 	ranks := flag.Int("ranks", 1, "machines / ranks per job")
@@ -72,6 +77,10 @@ func run() error {
 	faultsPlan := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'crash=n1@12m,downtime=2m;diskerr=0.001;slow=n0x1.5'")
 	eventsPath := flag.String("events", "", "write the structured event stream as JSONL to this file")
 	metricsPath := flag.String("metrics", "", "write final metrics in Prometheus text format to this file")
+	traceOut := flag.String("trace-out", "", "write the run's causal spans as Chrome trace_event JSON to this file (load in Perfetto)")
+	attrib := flag.Bool("attrib", false, "decompose each job's wall time into {compute, barrier, fault, switch, queue, down}")
+	httpAddr := flag.String("http", "", "serve the live run observer (/metrics, /events, /progress) on this address, e.g. :8080")
+	httpLinger := flag.Duration("http-linger", 0, "keep the -http observer serving this long after the run ends")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -compare baseline runs (0 = one per CPU, 1 = serial)")
@@ -80,15 +89,23 @@ func run() error {
 	flag.Parse()
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*cpuProfile)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			return perr
 		}
-		defer pprof.StopCPUProfile()
+		// The profile streams until StopCPUProfile, so the close (and its
+		// error) must wait for function exit; a failed close means a
+		// truncated profile, which deserves a report, not a shrug.
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("writing %s: %w", *cpuProfile, cerr)
+			}
+		}()
 	}
 
 	var spec gangsched.Spec
@@ -122,10 +139,16 @@ func run() error {
 	}
 
 	// Observability plumbing: a JSONL sink for -events, a registry for
-	// -metrics. The policy run carries it; -compare baselines run bare.
+	// -metrics (or the -http scrape endpoint), the span tracer for
+	// -trace-out, rank ledgers for -attrib and the /progress endpoint. The
+	// policy run carries it; -compare baselines run bare.
 	var jsonl *obs.JSONLSink
-	if *eventsPath != "" || *metricsPath != "" {
-		o := &obs.Options{Metrics: *metricsPath != ""}
+	if *eventsPath != "" || *metricsPath != "" || *traceOut != "" || *attrib || *httpAddr != "" {
+		o := &obs.Options{
+			Metrics: *metricsPath != "" || *httpAddr != "",
+			Trace:   *traceOut != "",
+			Ledger:  *attrib || *httpAddr != "",
+		}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
 			if err != nil {
@@ -135,6 +158,12 @@ func run() error {
 			o.Sinks = []obs.Sink{jsonl}
 		}
 		spec.Observe = o
+	}
+	if *httpAddr != "" {
+		spec.HTTP = *httpAddr
+		spec.OnHTTP = func(addr string) {
+			log.Printf("live observer on http://%s (/metrics /events /progress)", addr)
+		}
 	}
 
 	h, err := gangsched.RunDetailed(spec)
@@ -146,10 +175,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if h.Observer != nil {
+		// Serve the post-run state for the linger window, then shut down.
+		if *httpLinger > 0 {
+			log.Printf("run complete; observer serving final state for %v", *httpLinger)
+			time.Sleep(*httpLinger)
+		}
+		if cerr := h.Observer.Close(); cerr != nil {
+			return fmt.Errorf("closing observer: %w", cerr)
+		}
+	}
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, h.Metrics); err != nil {
 			return err
 		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, h.Spans()); err != nil {
+			return err
+		}
+		log.Printf("%d spans written to %s", len(h.Spans()), *traceOut)
 	}
 
 	var cmp *gangsched.Comparison
@@ -181,14 +226,17 @@ func run() error {
 	}
 
 	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
 		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", *memProfile, werr)
 		}
 	}
 	return nil
@@ -262,6 +310,19 @@ func emitJSON(res gangsched.Result, cmp *gangsched.Comparison) error {
 	return enc.Encode(res)
 }
 
+// writeTrace renders the run's spans to path as Chrome trace_event JSON.
+func writeTrace(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gangsched.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
 // writeMetrics renders the registry to path in Prometheus text format.
 func writeMetrics(path string, reg *obs.Registry) error {
 	f, err := os.Create(path)
@@ -296,6 +357,11 @@ func printRun(header string, res metrics.RunResult) {
 	fmt.Printf("%s, policy %s (%s)\n", header, res.Policy, res.Mode)
 	for _, j := range res.Jobs {
 		fmt.Printf("  %-8s finished at %8.0fs\n", j.Name, j.FinishedAt.Seconds())
+		if a := j.Attribution; a != nil {
+			fmt.Printf("           compute %.0fs | barrier %.0fs | fault %.0fs | switch %.0fs | queue %.0fs | down %.0fs\n",
+				a.Compute.Seconds(), a.Barrier.Seconds(), a.Fault.Seconds(),
+				a.Switch.Seconds(), a.Queue.Seconds(), a.Down.Seconds())
+		}
 	}
 	fmt.Printf("  makespan %.0fs, %d switches\n", res.Makespan.Seconds(), res.Switches)
 	for i, n := range res.Nodes {

@@ -93,10 +93,13 @@ func replayEvents(path string, node int, bin sim.Duration, format string) error 
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	events, err := obs.ReadJSONL(f)
+	cerr := f.Close()
 	if err != nil {
 		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing %s: %w", path, cerr)
 	}
 	rec := trace.NewRecorder(bin)
 	rec.Series(cluster.SeriesPageInKB)

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/gang"
+	"repro/internal/live"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -170,6 +171,16 @@ type Spec struct {
 	// *Violation on the first divergence. Nil disables auditing — the
 	// zero-overhead default (one nil check per engine step).
 	Audit *AuditSpec
+
+	// HTTP, when non-empty, serves the live run observer on this listen
+	// address (":0" for an ephemeral port) for the duration of the run:
+	// /metrics (Prometheus text), /events (NDJSON stream) and /progress
+	// (per-job attribution). The server stays up after the run completes —
+	// surfaced as RunHandle.Observer, which the caller must Close.
+	HTTP string
+	// OnHTTP, when set alongside HTTP, is called with the bound address
+	// once the observer is listening (before the run starts).
+	OnHTTP func(addr string) `json:"-"`
 }
 
 // AuditSpec tunes the invariant auditor (see internal/audit).
@@ -274,7 +285,41 @@ type RunHandle struct {
 	// was set (every sweep passed, or the run would have failed with a
 	// *Violation instead of producing a handle).
 	AuditChecks int64
+	// Observer is the live HTTP observer when Spec.HTTP was set; it keeps
+	// serving (post-run state) until the caller Closes it.
+	Observer *live.Observer
+
+	// tracer backs Spans; retained so the export copy is deferred until a
+	// caller actually wants the spans.
+	tracer *obs.Tracer
 }
+
+// Spans materializes the tracer's retained causal spans when Spec.Observe
+// asked for Trace (at most SpanCap most-recent closed spans, every
+// still-open span closed at end of run; nil otherwise). The copy out of
+// the tracer's compact retention happens here, on demand, so runs that
+// never read their spans don't pay for the export. Export the result with
+// WriteChromeTrace.
+func (h *RunHandle) Spans() []obs.Span {
+	if h == nil {
+		return nil
+	}
+	return h.tracer.Spans()
+}
+
+// SpanCount reports how many closed spans the run retained, without
+// materializing them.
+func (h *RunHandle) SpanCount() int {
+	if h == nil {
+		return 0
+	}
+	return h.tracer.Count()
+}
+
+// WriteChromeTrace re-exports the Chrome trace_event exporter: it renders
+// spans (e.g. RunHandle.Spans) as a JSON document loadable by Perfetto or
+// chrome://tracing.
+var WriteChromeTrace = obs.WriteChromeTrace
 
 // ErrTimeLimit reports that the simulated TimeLimit expired with jobs
 // still unfinished. Returned errors match it under errors.Is and are a
@@ -337,26 +382,37 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The auditor wants a short event tail for violation forensics: give it
-	// a private ring appended to a copy of the caller's observe options.
-	// Observability never feeds back into the model, so attaching the ring
-	// cannot perturb an otherwise identical run.
+	// The auditor wants a short event tail for violation forensics: force
+	// the always-on flight-recorder ring (Options.Flight), which doubles as
+	// that tail. Observability never feeds back into the model, so the extra
+	// sink cannot perturb an otherwise identical run. The live observer's
+	// /events stream rides along the same way.
 	obsOpts := spec.Observe
-	var auditRing *obs.Ring
+	copyOpts := func() *obs.Options {
+		var o obs.Options
+		if obsOpts != nil {
+			o = *obsOpts
+		}
+		o.Sinks = append([]obs.Sink(nil), o.Sinks...)
+		return &o
+	}
 	if spec.Audit != nil {
 		tail := spec.Audit.TraceTail
 		if tail == 0 {
 			tail = audit.DefaultTraceTail
 		}
 		if tail > 0 {
-			auditRing = obs.NewRing(tail)
-			var o obs.Options
-			if obsOpts != nil {
-				o = *obsOpts
-			}
-			o.Sinks = append(append([]obs.Sink(nil), o.Sinks...), auditRing)
-			obsOpts = &o
+			o := copyOpts()
+			o.Flight = true
+			obsOpts = o
 		}
+	}
+	var stream *obs.StreamSink
+	if spec.HTTP != "" {
+		stream = obs.NewStreamSink()
+		o := copyOpts()
+		o.Sinks = append(o.Sinks, stream)
+		obsOpts = o
 	}
 	setup := obsOpts.Build()
 	cl.EnableObservability(setup)
@@ -393,24 +449,49 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 		auditor = audit.Attach(cl, audit.Config{
 			Every:     spec.Audit.Every,
 			TraceTail: spec.Audit.TraceTail,
-			Ring:      auditRing,
+			Ring:      setup.Flight(),
 		})
+	}
+	var observer *live.Observer
+	if spec.HTTP != "" {
+		observer, err = live.Start(spec.HTTP, cl, setup, stream)
+		if err != nil {
+			return nil, err
+		}
+		cl.SetStepDrain(observer.Requests())
+		if spec.OnHTTP != nil {
+			spec.OnHTTP(observer.Addr())
+		}
 	}
 	limit := 24 * time.Hour
 	if spec.TimeLimit > 0 {
 		limit = spec.TimeLimit
 	}
 	runErr := cl.RunContext(ctx, sim.DurationOf(limit))
+	if observer != nil {
+		// The simulation has stopped (completed or failed): hand the
+		// observer direct read access so queued and future requests are
+		// served without the step loop.
+		observer.Quiesce()
+	}
 	interrupted := runErr != nil &&
 		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
 	if runErr != nil && !interrupted {
+		if observer != nil {
+			_ = observer.Close()
+		}
 		return nil, runErr
+	}
+	if setup != nil {
+		// Interrupted lifecycles (an epoch whose prefetch never landed, a
+		// fault in flight at the time limit) still show in the export.
+		setup.Tracer.CloseAll(cl.Eng.Now())
 	}
 	label := features.String()
 	if spec.Batch {
 		label = "batch"
 	}
-	h := &RunHandle{Result: metrics.Collect(cl, label)}
+	h := &RunHandle{Result: metrics.Collect(cl, label), Observer: observer}
 	h.Result.Interrupted = interrupted
 	if spec.RecordTraces {
 		for _, n := range cl.Nodes {
@@ -420,6 +501,7 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	if setup != nil {
 		h.Events = setup.Events()
 		h.Metrics = setup.Reg
+		h.tracer = setup.Tracer
 	}
 	if auditor != nil {
 		h.AuditChecks = auditor.Checks()

@@ -32,18 +32,19 @@ import (
 
 // Invariant names, as reported in violations (and listed in DESIGN.md §9).
 const (
-	InvFrameConservation = "frame-conservation"  // free + locked + mapped == total frames
-	InvResidentCounter   = "resident-counter"    // per-process resident counters match the page table
-	InvFrameLabel        = "frame-label"         // frame ownership label matches the PTE pointing at it
-	InvFrameDoubleMap    = "frame-double-map"    // no frame mapped by two (pid, vpage) pairs
-	InvInFlight          = "in-flight"           // an in-flight page owns a frame and is not counted resident
-	InvSwapAccounting    = "swap-accounting"     // sum of live regions == slots used; free list consistent
-	InvWriteBackPending  = "writeback-pending"   // queued-write aggregate matches per-page counts
-	InvDiskConservation  = "disk-conservation"   // submitted == completed + dropped + queued + in-service
-	InvTimeMonotonic     = "time-monotonic"      // the engine clock never runs backwards
-	InvGangSingleRun     = "gang-single-running" // at most one job's rank runs per node
-	InvGangOutgoing      = "gang-outgoing"       // selective designation never targets the running job
-	InvGangStopped       = "gang-stopped"        // a running rank never carries the stopped mark
+	InvFrameConservation  = "frame-conservation"  // free + locked + mapped == total frames
+	InvResidentCounter    = "resident-counter"    // per-process resident counters match the page table
+	InvFrameLabel         = "frame-label"         // frame ownership label matches the PTE pointing at it
+	InvFrameDoubleMap     = "frame-double-map"    // no frame mapped by two (pid, vpage) pairs
+	InvInFlight           = "in-flight"           // an in-flight page owns a frame and is not counted resident
+	InvSwapAccounting     = "swap-accounting"     // sum of live regions == slots used; free list consistent
+	InvWriteBackPending   = "writeback-pending"   // queued-write aggregate matches per-page counts
+	InvDiskConservation   = "disk-conservation"   // submitted == completed + dropped + queued + in-service
+	InvTimeMonotonic      = "time-monotonic"      // the engine clock never runs backwards
+	InvGangSingleRun      = "gang-single-running" // at most one job's rank runs per node
+	InvGangOutgoing       = "gang-outgoing"       // selective designation never targets the running job
+	InvGangStopped        = "gang-stopped"        // a running rank never carries the stopped mark
+	InvLedgerConservation = "ledger-conservation" // per-rank attribution buckets sum exactly to wall time
 )
 
 // Config tunes an Auditor.
@@ -179,6 +180,9 @@ func (a *Auditor) fail(v *Violation) error {
 		v.Trace = tail
 	}
 	a.violations++
+	// A violation is exactly what the flight recorder exists for: dump the
+	// retained event/span tail before the run dies.
+	a.c.Obs().DumpFlight(v.Time)
 	return v
 }
 
@@ -195,7 +199,10 @@ func (a *Auditor) Check() error {
 			return err
 		}
 	}
-	return a.checkGang()
+	if err := a.checkGang(); err != nil {
+		return err
+	}
+	return a.checkLedgers()
 }
 
 // checkEngine enforces time monotonicity: the clock of a discrete-event
@@ -420,6 +427,47 @@ func (a *Auditor) checkGang() error {
 				Invariant: InvGangOutgoing, Node: n.ID, PID: out, VPage: -1, Frame: -1,
 				Detail: "selective page-out designates the running process while other address spaces are live",
 			})
+		}
+	}
+	return nil
+}
+
+// checkLedgers enforces ledger conservation: every rank's attribution
+// buckets (plus the in-progress segment) sum exactly to the wall time
+// since the rank's creation — no simulated microsecond is lost or counted
+// twice — and a finished rank's ledger froze exactly at its finish time.
+func (a *Auditor) checkLedgers() error {
+	sched := a.c.Scheduler()
+	if sched == nil {
+		return nil
+	}
+	now := a.c.Eng.Now()
+	for _, j := range sched.Jobs() {
+		for i := range j.Members {
+			p := j.Members[i].Proc
+			led := p.Ledger()
+			if led == nil {
+				continue
+			}
+			if err := led.Check(now); err != nil {
+				return a.fail(&Violation{
+					Invariant: InvLedgerConservation, Node: i, PID: p.PID(), VPage: -1, Frame: -1,
+					Detail: fmt.Sprintf("job %q: %v", j.Name, err),
+				})
+			}
+			if p.Done() != led.Done() {
+				return a.fail(&Violation{
+					Invariant: InvLedgerConservation, Node: i, PID: p.PID(), VPage: -1, Frame: -1,
+					Detail: fmt.Sprintf("job %q: rank done=%v but ledger frozen=%v", j.Name, p.Done(), led.Done()),
+				})
+			}
+			if p.Done() && led.FrozenAt() != p.Stats().FinishedAt {
+				return a.fail(&Violation{
+					Invariant: InvLedgerConservation, Node: i, PID: p.PID(), VPage: -1, Frame: -1,
+					Detail: fmt.Sprintf("job %q: ledger froze at %v but the rank finished at %v",
+						j.Name, led.FrozenAt(), p.Stats().FinishedAt),
+				})
+			}
 		}
 	}
 	return nil

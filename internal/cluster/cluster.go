@@ -127,6 +127,8 @@ type Cluster struct {
 
 	stepCheck  func() error // invariant check run every checkEvery steps
 	checkEvery int
+
+	drain <-chan func() // live-observer requests, run at step boundaries
 }
 
 // FaultStats tallies fault-recovery activity across the run.
@@ -178,7 +180,7 @@ func New(seed int64, nNodes int, ncfg NodeConfig, features core.Features, kcfg c
 // barriers and the scheduler to be instrumented as they are created. Call
 // between New and the first AddJob; a nil or empty setup is a no-op.
 func (c *Cluster) EnableObservability(setup *obs.Setup) {
-	if setup == nil || (setup.Bus == nil && setup.Reg == nil) {
+	if setup == nil || (setup.Bus == nil && setup.Reg == nil && setup.Tracer == nil && !setup.Ledger()) {
 		return
 	}
 	if c.sched != nil {
@@ -187,6 +189,7 @@ func (c *Cluster) EnableObservability(setup *obs.Setup) {
 	c.obs = setup
 	for _, n := range c.Nodes {
 		n.Obs = obs.NewNodeObs(setup.Reg, setup.Bus, n.ID)
+		n.Obs.Tracer = setup.Tracer
 		n.VM.SetObs(n.Obs)
 		n.Disk.SetObs(n.Obs)
 		n.Kernel.SetObs(n.Obs)
@@ -239,6 +242,7 @@ func (c *Cluster) AddJob(spec JobSpec) (*gang.Job, error) {
 		job.Barrier = barrier
 		if c.obs != nil {
 			barrier.Observe(c.obs.Bus, spec.Name, c.obs.JobBarrierCounter(spec.Name))
+			barrier.Trace(c.obs.Tracer)
 		}
 	}
 	for _, n := range c.Nodes {
@@ -250,6 +254,11 @@ func (c *Cluster) AddJob(spec JobSpec) (*gang.Job, error) {
 		})
 		if f, ok := c.speeds[n.ID]; ok {
 			p.SlowFactor = f
+		}
+		if c.obs != nil && c.obs.Ledger() {
+			led := obs.NewRankLedger(c.Eng.Now())
+			p.SetLedger(led)
+			n.VM.SetRankLedger(pid, led)
 		}
 		job.Members = append(job.Members, gang.Member{Proc: p, Kernel: n.Kernel})
 	}
@@ -267,6 +276,7 @@ func (c *Cluster) BuildScheduler(opts gang.Options) *gang.Scheduler {
 	}
 	if c.obs != nil && opts.Obs == nil {
 		opts.Obs = obs.NewSchedObs(c.obs.Reg, c.obs.Bus)
+		opts.Obs.Tracer = c.obs.Tracer
 	}
 	c.sched = gang.NewScheduler(c.Eng, c.jobs, opts, func() {
 		if c.onAllDone != nil {
@@ -330,6 +340,12 @@ func (c *Cluster) CrashNode(id int, downtime sim.Duration) {
 	c.down[id] = true
 	c.faults.Crashes++
 	n := c.Nodes[id]
+	// Flag the node's rank ledgers down before any stop/crash processing so
+	// idle segments split here and faulters released by VM.Crash land their
+	// idle time in CatDown, not CatQueue.
+	for _, j := range c.jobs {
+		j.Members[id].Proc.Ledger().SetDown(c.Eng.Now(), true)
+	}
 	if c.obs != nil {
 		c.obs.Reg.Counter(obs.MetricNodeCrashes,
 			"Fail-stop node crashes injected.",
@@ -350,6 +366,9 @@ func (c *Cluster) CrashNode(id int, downtime sim.Duration) {
 	n.Kernel.CrashReset()
 	n.VM.Crash()
 	n.Disk.Reset()
+	if c.obs != nil {
+		c.obs.DumpFlight(c.Eng.Now())
+	}
 	c.Eng.ScheduleDetached(downtime, func() { c.restoreNode(id) })
 }
 
@@ -358,6 +377,9 @@ func (c *Cluster) CrashNode(id int, downtime sim.Duration) {
 func (c *Cluster) restoreNode(id int) {
 	delete(c.down, id)
 	c.faults.Restarts++
+	for _, j := range c.jobs {
+		j.Members[id].Proc.Ledger().SetDown(c.Eng.Now(), false)
+	}
 	if c.obs != nil {
 		c.obs.Reg.Counter(obs.MetricNodeRestarts,
 			"Crashed nodes restarted after their downtime.",
@@ -388,6 +410,28 @@ func (c *Cluster) SetStepCheck(every int, fn func() error) {
 	}
 	c.checkEvery = every
 	c.stepCheck = fn
+}
+
+// SetStepDrain installs a channel of closures that RunContext executes at
+// engine-step boundaries — the live observer's bridge into the otherwise
+// single-threaded simulation. Each closure runs on the simulation goroutine
+// between events, where it may read any cluster state race-free; it must
+// not block or mutate the simulation. Pass nil to remove; a nil channel
+// costs one branch per step.
+func (c *Cluster) SetStepDrain(ch <-chan func()) { c.drain = ch }
+
+// drainRequests runs every queued observer closure without blocking.
+func (c *Cluster) drainRequests() {
+	for {
+		select {
+		case fn := <-c.drain:
+			if fn != nil {
+				fn()
+			}
+		default:
+			return
+		}
+	}
 }
 
 // ErrTimeout reports that Run hit its simulated-time limit before every job
@@ -470,6 +514,9 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if c.drain != nil {
+			c.drainRequests()
 		}
 		at, ok := c.Eng.NextEventTime()
 		if !ok {

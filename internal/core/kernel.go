@@ -119,12 +119,18 @@ func (k *Kernel) onPageOut(pid, vpage int) {
 
 // MarkStopped tells the kernel pid has been de-scheduled; evictions of its
 // pages from now on are recorded for adaptive page-in.
-func (k *Kernel) MarkStopped(pid int) { k.stopped[pid] = true }
+func (k *Kernel) MarkStopped(pid int) {
+	k.stopped[pid] = true
+	k.vm.NoteStopped(pid, true)
+}
 
 // MarkRunning tells the kernel pid is running; its evictions (intra-job
 // paging) are not recorded, per §2's requirement that intra-job paging stay
 // under the original policy.
-func (k *Kernel) MarkRunning(pid int) { delete(k.stopped, pid) }
+func (k *Kernel) MarkRunning(pid int) {
+	delete(k.stopped, pid)
+	k.vm.NoteStopped(pid, false)
+}
 
 // IsStopped reports whether pid is currently marked de-scheduled. Exposed
 // for the invariant auditor (a Running process must never carry the stopped
@@ -182,7 +188,21 @@ func (k *Kernel) AdaptivePageOut(inPID, outPID, wsPages int) int {
 	if need <= 0 {
 		return 0
 	}
+	var tr *obs.Tracer
+	if k.obs != nil {
+		tr = k.obs.Tracer
+	}
+	if tr != nil {
+		// The drain span stays open until the last dirty write-back this
+		// eviction pass queued reaches the device (closed via the VM's drain
+		// tracker); it is zero-width when every evicted page was clean.
+		span := tr.Begin(k.eng.Now(), obs.SpanPageOutDrain, tr.Epoch(), k.obs.Node, "", outPID)
+		k.vm.BeginDrain(tr, span)
+	}
 	evicted := k.vm.ReclaimFrom(outPID, need)
+	if tr != nil {
+		k.vm.EndDrain(k.eng.Now())
+	}
 	k.stats.SwitchEvictions += int64(evicted)
 	if k.obs != nil {
 		k.obs.SwitchEvictions.Add(float64(evicted))
@@ -223,7 +243,20 @@ func (k *Kernel) AdaptivePageIn(inPID, outPID, wsPages int, onDone func()) int {
 			Pages: len(pages),
 		})
 	}
-	k.vm.ReadPagesIn(inPID, pages, disk.Demand, onDone)
+	var span obs.SpanID
+	if k.obs != nil {
+		if tr := k.obs.Tracer; tr != nil {
+			span = tr.Begin(k.eng.Now(), obs.SpanPrefault, tr.Epoch(), k.obs.Node, "", inPID)
+			inner, n := onDone, len(pages)
+			onDone = func() {
+				tr.End(k.eng.Now(), span, n)
+				if inner != nil {
+					inner()
+				}
+			}
+		}
+	}
+	k.vm.ReadPagesInTraced(inPID, pages, disk.Demand, span, onDone)
 	return len(pages)
 }
 

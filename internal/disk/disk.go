@@ -53,6 +53,14 @@ type Request struct {
 	// Done is invoked at completion with the time the request spent in
 	// service (queueing excluded). May be nil.
 	Done func(service sim.Duration)
+	// Parent, when tracing, is the span that caused this request (a fault,
+	// prefault replay or page-out drain); the queue-wait and transfer spans
+	// emitted at completion hang off it.
+	Parent obs.SpanID
+
+	// submitAt is stamped by Submit so the queue-wait span can be emitted
+	// retrospectively at completion.
+	submitAt sim.Time
 }
 
 // Pages reports the total number of pages the request transfers.
@@ -293,6 +301,7 @@ func (d *Disk) Submit(r *Request) {
 	default:
 		panic(fmt.Sprintf("disk: unknown priority %d", r.Prio))
 	}
+	r.submitAt = d.eng.Now()
 	d.stats.Submitted++
 	if q := d.QueueLen(); q > d.stats.MaxQueueLen {
 		d.stats.MaxQueueLen = q
@@ -481,6 +490,12 @@ func (d *Disk) serve(r *Request, attempt int) {
 				Write: r.Write,
 				Prio:  r.Prio.String(),
 			})
+			if t := d.obs.Tracer; t != nil {
+				// The queue span covers submission to service start (retry
+				// backoff included); the transfer span hangs off it.
+				q := t.Emit(obs.SpanDiskQueue, r.Parent, d.obs.Node, 0, r.submitAt, start, pages)
+				t.Emit(obs.SpanDiskTransfer, q, d.obs.Node, 0, start, start.Add(svc), pages)
+			}
 		}
 		if r.Done != nil {
 			r.Done(svc)

@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gang"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// JobAttribution is one job's critical-rank wall-time decomposition.
+type JobAttribution struct {
+	Job         string
+	FinishedSec float64
+	Attr        obs.Attribution
+}
+
+// AttributionRow is one stacked bar of the attribution figure: a policy
+// combination with each job's breakdown under it.
+type AttributionRow struct {
+	Policy string
+	Jobs   []JobAttribution
+}
+
+// AttributionStudy produces the stacked-breakdown figure behind the
+// paper's overhead numbers: two LU class B instances gang-scheduled on one
+// machine (Figure 9's serial setup) under every §4.3 policy combination,
+// with per-rank ledgers decomposing each job's wall time into {compute,
+// barrier, fault, switch, queue, down}. Where Figures 7-9 show *that*
+// adaptive paging shrinks the makespan, this shows *where* the reclaimed
+// time was being spent — the switch bucket collapsing while compute stays
+// fixed.
+func AttributionStudy(cfg Config) ([]AttributionRow, error) {
+	cfg.fillDefaults()
+	cfg.Observe = &obs.Options{Ledger: true}
+	m := workload.MustGet(workload.LU, workload.ClassB, 1)
+	combos := core.PaperCombos()
+	return mapN(cfg, len(combos), func(i int) (AttributionRow, error) {
+		res, err := cfg.RunPair(m, combos[i], gang.Gang)
+		if err != nil {
+			return AttributionRow{}, err
+		}
+		row := AttributionRow{Policy: res.Policy}
+		for _, j := range res.Jobs {
+			ja := JobAttribution{Job: j.Name, FinishedSec: j.FinishedAt.Seconds()}
+			if j.Attribution != nil {
+				ja.Attr = *j.Attribution
+			}
+			row.Jobs = append(row.Jobs, ja)
+		}
+		return row, nil
+	})
+}
+
+// FormatAttributionTable renders the attribution rows as an aligned text
+// table, one line per (policy, job) with seconds per category and the
+// switch bucket's share of the job's wall time.
+func FormatAttributionTable(title string, rows []AttributionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %-8s %8s %9s %9s %8s %8s %7s %6s %9s\n",
+		"policy", "job", "total_s", "compute_s", "barrier_s", "fault_s", "switch_s", "queue_s", "down_s", "switch_pct")
+	for _, r := range rows {
+		for _, j := range r.Jobs {
+			a := j.Attr
+			total := a.Total().Seconds()
+			pct := "-"
+			if total > 0 {
+				pct = fmt.Sprintf("%.1f%%", a.Switch.Seconds()/total*100)
+			}
+			fmt.Fprintf(&b, "%-12s %-8s %8.0f %9.0f %9.0f %8.0f %8.0f %7.0f %6.0f %9s\n",
+				r.Policy, j.Job, total,
+				a.Compute.Seconds(), a.Barrier.Seconds(), a.Fault.Seconds(),
+				a.Switch.Seconds(), a.Queue.Seconds(), a.Down.Seconds(), pct)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestAttributionStudy checks the stacked-breakdown figure's invariants:
+// one row per §4.3 policy combination, every job's buckets summing to its
+// wall time, compute identical across policies (paging never steals
+// modelled compute), and the switch bucket shrinking under the full
+// adaptive combination — the figure's whole point.
+func TestAttributionStudy(t *testing.T) {
+	cfg := DefaultConfig()
+	rows, err := AttributionStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 policy rows, got %d", len(rows))
+	}
+	compute := map[string]obs.Attribution{}
+	var orig, full AttributionRow
+	for _, r := range rows {
+		if len(r.Jobs) != 2 {
+			t.Fatalf("policy %s: want 2 jobs, got %d", r.Policy, len(r.Jobs))
+		}
+		for _, j := range r.Jobs {
+			if diff := math.Abs(j.Attr.Total().Seconds() - j.FinishedSec); diff > 1e-9 {
+				t.Errorf("policy %s job %s: buckets sum to %.6fs, finished at %.6fs",
+					r.Policy, j.Job, j.Attr.Total().Seconds(), j.FinishedSec)
+			}
+			if prev, ok := compute[j.Job]; ok && prev.Compute != j.Attr.Compute {
+				t.Errorf("job %s: compute differs across policies (%v vs %v)",
+					j.Job, prev.Compute, j.Attr.Compute)
+			}
+			compute[j.Job] = j.Attr
+		}
+		switch r.Policy {
+		case "orig":
+			orig = r
+		case "so/ao/ai/bg":
+			full = r
+		}
+	}
+	if orig.Policy == "" || full.Policy == "" {
+		t.Fatalf("matrix missing orig or full adaptive: %+v", rows)
+	}
+	for i := range orig.Jobs {
+		if full.Jobs[i].Attr.Switch >= orig.Jobs[i].Attr.Switch {
+			t.Errorf("job %s: switch bucket did not shrink (%v orig vs %v adaptive)",
+				orig.Jobs[i].Job, orig.Jobs[i].Attr.Switch, full.Jobs[i].Attr.Switch)
+		}
+	}
+	table := FormatAttributionTable("t", rows)
+	if !strings.Contains(table, "switch_pct") || strings.Count(table, "\n") != 14 {
+		t.Fatalf("malformed table:\n%s", table)
+	}
+}

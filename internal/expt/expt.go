@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gang"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -34,6 +35,11 @@ type Config struct {
 	// assembled in submission order, so the output is byte-identical at
 	// any setting.
 	Parallel int
+	// Observe, when non-nil, attaches the observability layer to every
+	// cluster the config builds (the attribution study sets Ledger so
+	// RunResult carries per-job wall-time decompositions). Each run builds
+	// its own Setup, so concurrent runs share nothing.
+	Observe *obs.Options
 }
 
 // DefaultConfig returns the paper's experimental settings.
@@ -88,6 +94,7 @@ func (c Config) buildPairWithBehavior(m workload.Model, beh proc.Behavior, featu
 	if err != nil {
 		return nil, err
 	}
+	cl.EnableObservability(c.Observe.Build())
 	q := c.quantumFor(m)
 	for i := 1; i <= 2; i++ {
 		spec := cluster.JobSpec{

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/gang"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -58,6 +59,10 @@ type JobResult struct {
 	// TotalIters — the job's progress when the run ended.
 	Iterations int
 	TotalIters int
+	// Attribution, present only when the run enabled rank ledgers,
+	// decomposes the critical rank's wall time (== FinishedAt for jobs
+	// submitted at t=0) into {compute, barrier, fault, switch, queue, down}.
+	Attribution *obs.Attribution `json:",omitempty"`
 }
 
 // NodeResult aggregates one node's paging activity.
@@ -132,6 +137,7 @@ func Collect(c *cluster.Cluster, policy string) RunResult {
 			}
 			jr.TotalIters = m.Proc.Behavior().Iterations
 		}
+		jr.Attribution = CriticalAttribution(j, c.Eng.Now())
 		r.Jobs = append(r.Jobs, jr)
 		if d := sim.Duration(j.FinishedAt()); d > r.Makespan {
 			r.Makespan = d
@@ -160,6 +166,43 @@ func Collect(c *cluster.Cluster, policy string) RunResult {
 		r.Faults.DroppedIO += ds.Dropped
 	}
 	return r
+}
+
+// CriticalAttribution decomposes the job's critical-path wall time as of
+// now (ignored once the job is done). Nil when rank ledgers are disabled.
+// The live observer uses it for /progress; Collect for RunResult.
+func CriticalAttribution(j *gang.Job, now sim.Time) *obs.Attribution {
+	led := criticalLedger(j)
+	if led == nil {
+		return nil
+	}
+	a := led.Snapshot(now)
+	return &a
+}
+
+// criticalLedger picks the job's critical rank's ledger: the last-finishing
+// rank (ties broken toward the lowest node), or the lowest-node unfinished
+// rank when the run was cut short. Nil when ledgers are disabled.
+func criticalLedger(j *gang.Job) *obs.RankLedger {
+	var crit *obs.RankLedger
+	var critAt sim.Time
+	critDone := true
+	for _, m := range j.Members {
+		led := m.Proc.Ledger()
+		if led == nil {
+			return nil
+		}
+		done, at := m.Proc.Done(), m.Proc.Stats().FinishedAt
+		switch {
+		case crit == nil:
+			crit, critAt, critDone = led, at, done
+		case !done && critDone:
+			crit, critAt, critDone = led, at, false
+		case done && critDone && at > critAt:
+			crit, critAt = led, at
+		}
+	}
+	return crit
 }
 
 // MeanCompletion reports the mean job completion time — the responsiveness

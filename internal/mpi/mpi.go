@@ -71,6 +71,12 @@ type Barrier struct {
 	obsBus  *obs.Bus
 	obsJob  string
 	obsWait *obs.Counter
+
+	// Tracing (nil when disabled): each generation is one BarrierGen span
+	// from first arrival to release, emitted retrospectively when the last
+	// rank arrives.
+	tracer   *obs.Tracer
+	genStart sim.Time
 }
 
 // NewBarrier creates a barrier over nRanks ranks (nRanks >= 1).
@@ -89,6 +95,9 @@ func (b *Barrier) Observe(bus *obs.Bus, job string, waitCtr *obs.Counter) {
 	b.obsJob = job
 	b.obsWait = waitCtr
 }
+
+// Trace attaches (or with nil detaches) the run's span tracer.
+func (b *Barrier) Trace(t *obs.Tracer) { b.tracer = t }
 
 // NumRanks reports the barrier width.
 func (b *Barrier) NumRanks() int { return b.nRanks }
@@ -117,6 +126,9 @@ func (b *Barrier) Arrive(msgBytes int, release func()) {
 	b.arrived++
 	b.release = append(b.release, release)
 	b.arriveTimes = append(b.arriveTimes, b.net.eng.Now())
+	if b.tracer != nil && b.arrived == 1 {
+		b.genStart = b.net.eng.Now()
+	}
 	if b.arrived < b.nRanks {
 		return
 	}
@@ -139,6 +151,12 @@ func (b *Barrier) Arrive(msgBytes int, release func()) {
 			Job:   b.obsJob,
 			Ranks: b.nRanks,
 			Dur:   genWait,
+		})
+	}
+	if b.tracer != nil {
+		b.tracer.EmitSpan(obs.Span{
+			Kind: obs.SpanBarrierGen, Node: obs.ClusterScope, Job: b.obsJob,
+			Ranks: b.nRanks, Start: b.genStart, End: now.Add(cost),
 		})
 	}
 	waiters := b.release

@@ -55,6 +55,7 @@ type Ring struct {
 	next    int
 	wrapped bool
 	dropped uint64
+	onDrop  func()
 }
 
 // NewRing returns a ring holding up to capacity events.
@@ -78,7 +79,15 @@ func (r *Ring) Emit(ev Event) {
 	}
 	r.wrapped = true
 	r.dropped++
+	if r.onDrop != nil {
+		r.onDrop()
+	}
 }
+
+// SetOnDrop installs a hook invoked once per evicted event, letting the
+// run surface silent ring truncation (e.g. as a lazily registered
+// counter) without coupling the ring to the registry.
+func (r *Ring) SetOnDrop(fn func()) { r.onDrop = fn }
 
 // Len reports how many events the ring currently holds.
 func (r *Ring) Len() int { return len(r.buf) }

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// chromeClusterPid is the synthetic "process" id cluster-scope spans are
+// filed under in a Chrome trace (trace-viewer pids must be distinct from
+// real node ids, which start at 0).
+const chromeClusterPid = 1000000
+
+// WriteChromeTrace renders spans in the Chrome trace_event JSON format
+// (the {"traceEvents": [...]} object form), loadable in Perfetto or
+// chrome://tracing. Each span becomes one complete ("ph":"X") event whose
+// pid is the node (cluster-scope spans get their own synthetic process)
+// and whose tid is the simulated process id; causal links are carried in
+// args.id/args.parent. Timestamps are simulated microseconds, so the
+// viewer's timeline is the simulation clock. Output is deterministic for
+// a given span slice.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	// Name the synthetic processes so the viewer shows "node 0", not "0".
+	nodes := map[int]bool{}
+	first := true
+	meta := func(pid int, name string) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(bw,
+			`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, strconv.Quote(name))
+		return err
+	}
+	for _, s := range spans {
+		pid := s.Node
+		if s.Node == ClusterScope {
+			pid = chromeClusterPid
+		}
+		if !nodes[pid] {
+			nodes[pid] = true
+			name := "node " + strconv.Itoa(s.Node)
+			if s.Node == ClusterScope {
+				name = "cluster"
+			}
+			if err := meta(pid, name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range spans {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		pid := s.Node
+		if s.Node == ClusterScope {
+			pid = chromeClusterPid
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"name":%s,"cat":"sim","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"id":%d,"parent":%d`,
+			strconv.Quote(s.Kind.String()), int64(s.Start), int64(s.Duration()), pid, s.PID, s.ID, s.Parent); err != nil {
+			return err
+		}
+		if s.Job != "" {
+			if _, err := fmt.Fprintf(bw, `,"job":%s`, strconv.Quote(s.Job)); err != nil {
+				return err
+			}
+		}
+		if s.Pages != 0 {
+			if _, err := fmt.Fprintf(bw, `,"pages":%d`, s.Pages); err != nil {
+				return err
+			}
+		}
+		if s.Ranks != 0 {
+			if _, err := fmt.Fprintf(bw, `,"ranks":%d`, s.Ranks); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(`}}`); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(`],"displayTimeUnit":"ms"}` + "\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

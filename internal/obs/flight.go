@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// DefaultFlightCap is the flight-recorder ring capacity: big enough to
+// cover the storm leading up to a violation, small enough to be always-on.
+const DefaultFlightCap = 256
+
+// flightSpanTail bounds how many recent spans a flight dump includes.
+const flightSpanTail = 64
+
+// WriteFlightDump renders the flight recorder's tail for post-mortem
+// reading: a header stating what was retained and what was dropped (so a
+// truncated view is never mistaken for the whole story), the retained
+// events as JSONL, and — when a tracer is attached — the most recent
+// closed spans. ring and tr may each be nil.
+func WriteFlightDump(w io.Writer, ring *Ring, tr *Tracer, now sim.Time) error {
+	var events []Event
+	var dropped uint64
+	if ring != nil {
+		events = ring.Events()
+		dropped = ring.Dropped()
+	}
+	spans := tr.Spans()
+	if len(spans) > flightSpanTail {
+		spans = spans[len(spans)-flightSpanTail:]
+	}
+	if _, err := fmt.Fprintf(w,
+		"# flight recorder @ %v: %d events retained (%d dropped), %d spans retained (%d dropped, %d open)\n",
+		now, len(events), dropped, len(spans), tr.Dropped(), tr.Open()); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", data); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		data, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "span %s\n", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

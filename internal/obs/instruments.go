@@ -1,6 +1,11 @@
 package obs
 
-import "strconv"
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
 
 // Metric names. All durations are seconds, all sizes are 4 KiB pages.
 const (
@@ -28,6 +33,11 @@ const (
 	MetricNodeCrashes    = "gangsim_node_crashes_total"    // counter{node}
 	MetricNodeRestarts   = "gangsim_node_restarts_total"   // counter{node}
 	MetricJobRequeues    = "gangsim_job_requeues_total"    // counter
+
+	// MetricEventsDropped counts events the in-memory ring evicted to make
+	// room. It is registered lazily on the first drop, so drop-free runs
+	// expose (and snapshot) exactly the series they did before.
+	MetricEventsDropped = "gangsim_events_dropped_total" // counter
 )
 
 // FaultStallBuckets bounds the fault-stall latency histogram (seconds):
@@ -50,6 +60,9 @@ var PageOutBatchBuckets = []float64{
 type NodeObs struct {
 	Bus  *Bus
 	Node int
+	// Tracer is the run's span tracer (nil unless tracing is enabled; all
+	// Tracer methods are nil-safe).
+	Tracer *Tracer
 
 	PagesIn         *Counter
 	PagesOut        *Counter
@@ -96,7 +109,9 @@ func NewNodeObs(reg *Registry, bus *Bus, node int) *NodeObs {
 
 // SchedObs bundles the gang scheduler's cluster-scope instruments.
 type SchedObs struct {
-	Bus      *Bus
+	Bus *Bus
+	// Tracer is the run's span tracer (nil unless tracing is enabled).
+	Tracer   *Tracer
 	Switches *Counter
 	Quanta   *Counter
 	Requeues *Counter
@@ -130,6 +145,25 @@ type Options struct {
 	EventCap int
 	// Metrics enables the metrics registry, surfaced as RunHandle.Metrics.
 	Metrics bool
+	// Trace enables the causal span tracer (and, with Metrics, the
+	// span-duration histograms). Spans never touch the event bus, so a
+	// traced run's event log and Prometheus series stay byte-identical to
+	// an untraced one.
+	Trace bool
+	// SpanCap bounds the closed-span retention (DefaultSpanCap when 0).
+	SpanCap int
+	// Ledger enables per-rank makespan attribution (the six-way wall-time
+	// decomposition surfaced per job in RunResult and checked by the
+	// ledger-conservation audit law).
+	Ledger bool
+	// FlightTo, when set, receives a flight-recorder dump (ring tail plus
+	// recent spans) whenever the auditor trips or the fault injector
+	// crashes a node.
+	FlightTo io.Writer
+	// Flight forces the flight-recorder ring (and therefore the event bus)
+	// even when no other event destination is configured — the auditor sets
+	// it so violation reports always have an event tail.
+	Flight bool
 }
 
 // Setup is the built observability plumbing for one run.
@@ -138,17 +172,24 @@ type Setup struct {
 	Bus *Bus
 	// Reg is nil unless Options.Metrics was set.
 	Reg *Registry
+	// Tracer is nil unless Options.Trace was set.
+	Tracer *Tracer
 
-	ring *Ring
+	ring     *Ring
+	flight   *Ring
+	ledger   bool
+	flightTo io.Writer
 }
 
-// Build assembles the bus, sinks and registry an Options describes.
-// A nil receiver yields a nil Setup.
+// Build assembles the bus, sinks, registry and tracer an Options
+// describes. A nil receiver yields a nil Setup. Whenever any event
+// destination exists the flight-recorder ring rides along as an extra
+// sink: a fixed-size always-on tail for post-mortem dumps.
 func (o *Options) Build() *Setup {
 	if o == nil {
 		return nil
 	}
-	s := &Setup{}
+	s := &Setup{ledger: o.Ledger, flightTo: o.FlightTo}
 	sinks := append([]Sink(nil), o.Sinks...)
 	if o.KeepEvents {
 		capacity := o.EventCap
@@ -158,11 +199,31 @@ func (o *Options) Build() *Setup {
 		s.ring = NewRing(capacity)
 		sinks = append(sinks, s.ring)
 	}
-	if len(sinks) > 0 {
+	if len(sinks) > 0 || o.Flight || o.FlightTo != nil {
+		s.flight = NewRing(DefaultFlightCap)
+		sinks = append(sinks, s.flight)
 		s.Bus = NewBus(sinks...)
 	}
 	if o.Metrics {
 		s.Reg = NewRegistry()
+	}
+	if o.Trace {
+		s.Tracer = NewTracer(o.SpanCap)
+		if s.Reg != nil {
+			s.Tracer.FaultService = s.Reg.Histogram(MetricTraceFaultService,
+				"Fault span durations (trap to wakeup).", nil, FaultStallBuckets)
+			s.Tracer.DiskQueue = s.Reg.Histogram(MetricTraceDiskQueue,
+				"Disk request queue-wait span durations.", nil, DiskQueueBuckets)
+			s.Tracer.BarrierStall = s.Reg.Histogram(MetricTraceBarrierStall,
+				"Barrier generation span durations (first arrival to release).", nil, FaultStallBuckets)
+		}
+	}
+	if s.ring != nil && s.Reg != nil {
+		reg := s.Reg
+		s.ring.SetOnDrop(func() {
+			reg.Counter(MetricEventsDropped,
+				"Events evicted from the in-memory ring to make room.", nil).Inc()
+		})
 	}
 	return s
 }
@@ -173,6 +234,36 @@ func (s *Setup) Events() []Event {
 		return nil
 	}
 	return s.ring.Events()
+}
+
+// Spans returns the tracer's retained spans (nil unless Trace was set).
+func (s *Setup) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer.Spans()
+}
+
+// Flight returns the always-on flight-recorder ring (nil when the run
+// had no event destination at all).
+func (s *Setup) Flight() *Ring {
+	if s == nil {
+		return nil
+	}
+	return s.flight
+}
+
+// Ledger reports whether per-rank attribution ledgers are enabled.
+func (s *Setup) Ledger() bool { return s != nil && s.ledger }
+
+// DumpFlight writes a flight-recorder dump to the configured FlightTo
+// writer, if any. The auditor and the fault injector call it at the
+// moment of a violation or an injected crash.
+func (s *Setup) DumpFlight(now sim.Time) {
+	if s == nil || s.flightTo == nil {
+		return
+	}
+	_ = WriteFlightDump(s.flightTo, s.flight, s.Tracer, now)
 }
 
 // JobBarrierCounter registers the barrier-wait counter for one job.

@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// StreamSink fans events out to dynamically attached subscribers over
+// bounded channels, for live consumers (the HTTP observer's /events
+// endpoint) tailing a run in progress. A slow subscriber never blocks the
+// simulation: sends are non-blocking and overflow is dropped, counted per
+// subscriber. Unlike the other sinks it takes a mutex per event, so it is
+// only attached when a live consumer is actually configured.
+type StreamSink struct {
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*streamSub
+}
+
+type streamSub struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// NewStreamSink returns an empty stream sink.
+func NewStreamSink() *StreamSink {
+	return &StreamSink{subs: make(map[int]*streamSub)}
+}
+
+// Emit delivers ev to every subscriber, dropping for any whose buffer is
+// full.
+func (s *StreamSink) Emit(ev Event) {
+	s.mu.Lock()
+	for _, sub := range s.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Subscribe attaches a new subscriber with the given buffer size and
+// returns its channel plus a cancel function. Cancel closes the channel;
+// the subscriber must stop receiving after calling it.
+func (s *StreamSink) Subscribe(buffer int) (<-chan Event, func() uint64) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	sub := &streamSub{ch: make(chan Event, buffer)}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = sub
+	s.mu.Unlock()
+	cancel := func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.subs[id]; !ok {
+			return sub.dropped
+		}
+		delete(s.subs, id)
+		close(sub.ch)
+		return sub.dropped
+	}
+	return sub.ch, cancel
+}
+
+// Subscribers reports how many subscribers are attached.
+func (s *StreamSink) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}

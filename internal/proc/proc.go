@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
@@ -170,6 +171,12 @@ type Process struct {
 	stats    Stats
 	onFinish func(*Process)
 
+	// led, when non-nil, classifies this rank's wall time: each blocking
+	// site transitions it to the category about to be waited on, and resume
+	// while stopped transitions it back to idle. A nil ledger costs one
+	// branch per block.
+	led *obs.RankLedger
+
 	// resumeFn is p.resume bound once at construction; passing a method
 	// value allocates a closure per call, and resume is scheduled once per
 	// compute chunk and fault on the simulator's hottest path.
@@ -226,6 +233,12 @@ func (p *Process) rollJitter() {
 	p.iterScale = 1 + p.beh.Jitter*(2*u-1)
 }
 
+// SetLedger attaches (or with nil detaches) the rank's attribution ledger.
+func (p *Process) SetLedger(l *obs.RankLedger) { p.led = l }
+
+// Ledger returns the attached attribution ledger (nil when disabled).
+func (p *Process) Ledger() *obs.RankLedger { return p.led }
+
 // PID reports the process id.
 func (p *Process) PID() int { return p.pid }
 
@@ -273,6 +286,10 @@ func (p *Process) resume() {
 	p.blocked = false
 	if p.running && !p.done {
 		p.advance()
+	} else if !p.done {
+		// Stopped (or crash-released) while the event was in flight: the rank
+		// now sits idle until the next Start.
+		p.led.TransitionIdle(p.eng.Now())
 	}
 }
 
@@ -299,6 +316,7 @@ func (p *Process) advance() {
 				}
 				p.stats.ComputeTime += cost
 				p.block()
+				p.led.Transition(p.eng.Now(), obs.CatCompute)
 				p.eng.ScheduleDetached(cost, p.resumeFn)
 				return
 			}
@@ -307,6 +325,7 @@ func (p *Process) advance() {
 			if p.beh.SyncEveryIter {
 				p.stats.BarrierWaits++
 				p.block()
+				p.led.Transition(p.eng.Now(), obs.CatBarrier)
 				p.barrier.Arrive(p.beh.MsgBytes, p.resumeFn)
 				return
 			}
@@ -373,6 +392,9 @@ func (p *Process) stepTouch() bool {
 		if run == 0 {
 			if chunks == 0 {
 				p.block()
+				// CatFault here; the VM refines it to CatSwitch when the
+				// missing page was evicted by switch-time paging.
+				p.led.Transition(now, obs.CatFault)
 				p.v.Fault(p.pid, p.cursor, write, p.resumeFn)
 				return true
 			}
@@ -421,6 +443,7 @@ func (p *Process) stepTouch() bool {
 	}
 	p.ffCollapsed = chunks - 1
 	p.block()
+	p.led.Transition(now, obs.CatCompute)
 	p.eng.ScheduleDetached(total, p.resumeFn)
 	return true
 }
@@ -434,6 +457,7 @@ func (p *Process) endIteration() {
 		p.ph = phaseDone
 		p.running = false
 		p.stats.FinishedAt = p.eng.Now()
+		p.led.Finish(p.eng.Now())
 		if p.onFinish != nil {
 			p.onFinish(p)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -121,12 +122,30 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 		panic(fmt.Sprintf("vm: fault at vpage %d outside footprint %d of pid %d", vpage, as.numPages, pid))
 	}
 	start := v.eng.Now()
+	var span, parent obs.SpanID
+	if v.obs != nil {
+		// The fault span parents to the switch epoch current at trap time,
+		// which is what lets a post-switch fault storm be attributed to the
+		// switch. Its ID is reserved now — the disk reads the fault triggers
+		// parent to it — but the span itself is recorded retrospectively at
+		// wakeup: faults are by far the most numerous span kind, and the
+		// reserve/emit pair skips the tracer's open-span bookkeeping.
+		parent = v.obs.Tracer.Epoch()
+		span = v.obs.Tracer.Reserve()
+	}
+	if as.led != nil && as.swEvict != nil && !as.IsResident(vpage) && as.swEvict[vpage] {
+		// The page was evicted while the owner was descheduled (or is still
+		// in flight from the switch's prefetch): the stall the process just
+		// entered is switch overhead, not an ordinary fault stall.
+		as.led.Retag(obs.CatSwitch)
+	}
 	finish := func() {
 		stall := v.eng.Now().Sub(start)
 		v.stats.FaultStall += stall
 		as.stats.FaultStall += stall
 		if v.obs != nil {
 			v.obs.FaultStall.Observe(stall.Seconds())
+			v.obs.Tracer.EmitReserved(span, obs.SpanFault, parent, v.obs.Node, pid, start, v.eng.Now(), 0)
 		}
 		resume()
 	}
@@ -188,7 +207,7 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 		group = append(group, next)
 	}
 	as.waiters[vpage] = append(as.waiters[vpage], finish)
-	v.readIn(as, group, disk.Demand, nil)
+	v.readIn(as, group, disk.Demand, span, nil)
 }
 
 // minorFault accounts one fault satisfied without disk I/O.
@@ -206,6 +225,12 @@ func (v *VM) minorFault(as *AddressSpace) {
 // non-nil, fires once every transfer issued by this call has completed;
 // it fires immediately if nothing needed reading.
 func (v *VM) ReadPagesIn(pid int, vpages []int, prio disk.Priority, onDone func()) {
+	v.ReadPagesInTraced(pid, vpages, prio, 0, onDone)
+}
+
+// ReadPagesInTraced is ReadPagesIn with a causal parent span stamped onto
+// the disk requests it issues (0 for none).
+func (v *VM) ReadPagesInTraced(pid int, vpages []int, prio disk.Priority, parent obs.SpanID, onDone func()) {
 	as := v.mustProc(pid)
 	group := v.getGroup()
 	for _, vp := range vpages {
@@ -225,7 +250,7 @@ func (v *VM) ReadPagesIn(pid int, vpages []int, prio disk.Priority, onDone func(
 		return
 	}
 	sort.Ints(group)
-	v.readIn(as, group, prio, onDone)
+	v.readIn(as, group, prio, parent, onDone)
 }
 
 // reclaimRetryDelay is how long a page-in waits when not a single frame can
@@ -242,7 +267,7 @@ const reclaimRetryDelay = 500 * sim.Microsecond
 //
 // readIn owns group: the buffer comes from the VM's pool and is returned to
 // it once no transfer or retry can reference it any longer.
-func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone func()) {
+func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, parent obs.SpanID, onDone func()) {
 	// Re-filter: on a retry some pages may have landed via other requests.
 	filtered := v.getGroup()
 	for _, vp := range group {
@@ -273,7 +298,7 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone fu
 					}
 					return
 				}
-				v.readIn(as, group, prio, onDone)
+				v.readIn(as, group, prio, parent, onDone)
 			})
 			return
 		}
@@ -313,8 +338,9 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, onDone fu
 		pages := group[idx : idx+r.N]
 		idx += r.N
 		v.dsk.Submit(&disk.Request{
-			Runs: []disk.Run{r},
-			Prio: prio,
+			Runs:   []disk.Run{r},
+			Prio:   prio,
+			Parent: parent,
 			Done: func(sim.Duration) {
 				v.completeRead(as, pages)
 				remaining--
@@ -338,6 +364,9 @@ func (v *VM) completeRead(as *AddressSpace, pages []int) {
 		as.inFlight[vp] = false
 		as.resident++
 		n++
+		if as.swEvict != nil {
+			as.swEvict[vp] = false // resident again: next eviction decides anew
+		}
 		if ws := as.waiters[vp]; len(ws) > 0 {
 			delete(as.waiters, vp)
 			for _, w := range ws {

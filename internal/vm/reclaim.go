@@ -403,6 +403,11 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 		as.bgClean[vp] = false
 		as.frames[vp] = mem.NoFrame
 		as.resident--
+		if as.swEvict != nil && as.stopped {
+			// The owner is descheduled: this eviction is switch-time paging,
+			// so a later fault on the page counts as switch overhead.
+			as.swEvict[vp] = true
+		}
 		v.phys.Release(fid)
 		if v.OnPageOut != nil {
 			v.OnPageOut(as.pid, vp)
@@ -456,18 +461,29 @@ func (v *VM) submitWriteBack(as *AddressSpace, pages []int, prio disk.Priority) 
 	runs := v.coalesceSplit(slots)
 	remaining := len(runs)
 	idx := 0
+	d := v.drain
+	var parent obs.SpanID
+	if d != nil {
+		d.pending += len(runs)
+		d.pages += len(pages)
+		parent = d.span
+	}
 	for _, r := range runs {
 		chunk := pages[idx : idx+r.N]
 		idx += r.N
 		v.dsk.Submit(&disk.Request{
-			Runs:  []disk.Run{r},
-			Write: true,
-			Prio:  prio,
+			Runs:   []disk.Run{r},
+			Write:  true,
+			Prio:   prio,
+			Parent: parent,
 			Done: func(sim.Duration) {
 				v.completeWrite(as, chunk)
 				remaining--
 				if remaining == 0 {
 					v.putGroup(pages)
+				}
+				if d != nil {
+					d.complete(v.eng.Now())
 				}
 			},
 		})

@@ -160,6 +160,16 @@ type AddressSpace struct {
 
 	waiters map[int][]func() // fault waiters per in-flight vpage
 
+	// Attribution (nil / unallocated unless the run enabled the ledger):
+	// led is the owning rank's wall-time ledger, stopped mirrors the
+	// kernel's descheduled flag, and swEvict marks pages evicted while the
+	// process was stopped — a fault on such a page is switch overhead, not
+	// an ordinary fault stall. Bits are cleared when the page lands back in
+	// memory (or the node crashes, which loses the image outright).
+	led     *obs.RankLedger
+	stopped bool
+	swEvict []bool
+
 	stats ProcStats
 }
 
@@ -253,6 +263,12 @@ type VM struct {
 	// auditor cross-checks this incremental counter against a recomputation.
 	wbPendingPages int
 
+	// drain, while non-nil, tags write-backs submitted by the current
+	// synchronous switch-time page-out so the page-out-drain span can
+	// close when the last of them reaches the device. Bracketed by
+	// BeginDrain/EndDrain around the kernel's AdaptivePageOut work.
+	drain *drainTrack
+
 	stats Stats
 
 	// Scratch buffers reused across hot-path calls. All reclaim, eviction
@@ -289,6 +305,48 @@ func (v *VM) putGroup(g []int) {
 	}
 }
 
+// drainTrack follows one switch-time page-out drain: every write-back
+// request submitted while it is current counts as pending, and the span
+// closes when the last completes (or immediately at EndDrain if the
+// eviction queued no writes).
+type drainTrack struct {
+	tracer  *obs.Tracer
+	span    obs.SpanID
+	pending int
+	pages   int
+	armed   bool
+}
+
+func (d *drainTrack) complete(now sim.Time) {
+	d.pending--
+	if d.armed && d.pending == 0 {
+		d.tracer.End(now, d.span, d.pages)
+	}
+}
+
+// BeginDrain makes span the current page-out drain: write-backs submitted
+// until EndDrain parent to it and hold it open until they land.
+func (v *VM) BeginDrain(t *obs.Tracer, span obs.SpanID) {
+	if t == nil || span == 0 {
+		return
+	}
+	v.drain = &drainTrack{tracer: t, span: span}
+}
+
+// EndDrain closes the synchronous part of the drain; the span ends now if
+// no write-back is outstanding, else when the last one completes.
+func (v *VM) EndDrain(now sim.Time) {
+	d := v.drain
+	if d == nil {
+		return
+	}
+	v.drain = nil
+	d.armed = true
+	if d.pending == 0 {
+		d.tracer.End(now, d.span, d.pages)
+	}
+}
+
 // New assembles a VM over the given physical memory, disk and swap space.
 func New(eng *sim.Engine, phys *mem.Physical, d *disk.Disk, space *swap.Space, cfg Config) *VM {
 	cfg.fillDefaults()
@@ -319,6 +377,24 @@ func (v *VM) Stats() Stats { return v.stats }
 
 // SetObs attaches the node's observability instruments (nil to detach).
 func (v *VM) SetObs(o *obs.NodeObs) { v.obs = o }
+
+// SetRankLedger attaches pid's attribution ledger and allocates the
+// switch-eviction bitmap that refines fault stalls into switch overhead.
+func (v *VM) SetRankLedger(pid int, led *obs.RankLedger) {
+	as := v.mustProc(pid)
+	as.led = led
+	if led != nil && as.swEvict == nil {
+		as.swEvict = make([]bool, as.numPages)
+	}
+}
+
+// NoteStopped mirrors the kernel's descheduled flag onto the address
+// space; evictions of a stopped process's pages are switch-time paging.
+func (v *VM) NoteStopped(pid int, stopped bool) {
+	if as := v.procs[pid]; as != nil {
+		as.stopped = stopped
+	}
+}
 
 // SetVictimPolicy selects the reclaim policy.
 func (v *VM) SetVictimPolicy(p Policy) { v.policy = p }
@@ -470,6 +546,11 @@ func (v *VM) Crash() {
 			}
 		}
 		clear(as.dirtyMap)
+		if as.swEvict != nil {
+			// Crash-dropped pages were lost, not paged out by a switch;
+			// their refaults are ordinary fault stalls.
+			clear(as.swEvict)
+		}
 		as.resident = 0
 		// Collect waiters in vpage order, then fire after all bookkeeping is
 		// consistent: a resumed process may immediately re-fault.

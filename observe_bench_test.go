@@ -42,3 +42,26 @@ func BenchmarkRunObsEnabled(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunTraced additionally turns on the span tracer and the rank
+// attribution ledgers. `make check` gates its ns/op at no more than 10%
+// over BenchmarkRunObsEnabled via benchjson -overhead — the tracing
+// subsystem's cost ceiling.
+func BenchmarkRunTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := observedSpec(&obs.Options{
+			Sinks:   []obs.Sink{obs.NewCountSink()},
+			Metrics: true,
+			Trace:   true,
+			Ledger:  true,
+		})
+		h, err := RunDetailed(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.SpanCount() == 0 {
+			b.Fatal("spans missing")
+		}
+	}
+}
