@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race soak audit fuzz check bench bench-obs ci clean
+.PHONY: all build vet test race check-race-short soak audit fuzz serve-smoke check bench bench-obs ci clean
 
 all: build
 
@@ -19,6 +19,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race tests sized for small hosts: -short skips the multi-second
+# paper-scale studies (internal/expt figure runs, the attribution study)
+# that push `go test -race ./internal/expt` past the default timeout on
+# 1-core machines. Full coverage still runs via `make race` on real
+# hardware.
+check-race-short:
+	$(GO) test -race -short ./...
+
 # Fault-injection soak: the crash/disk-error/straggler mix under the race
 # detector, repeated so scheduling nondeterminism in the host (not the
 # sim — that is byte-identical) gets a chance to surface bugs.
@@ -33,18 +41,30 @@ audit:
 	$(GO) test -race -count 1 -run 'TestCrashResumeClearsStaleOutgoing' -v ./internal/gang
 
 # Randomised audited runs: fault/workload/policy combinations with a
-# conservation sweep after every engine event, plus the event-queue order
-# fuzz (calendar queue vs a reference heap). FUZZTIME=10m for a soak.
+# conservation sweep after every engine event, the event-queue order fuzz
+# (calendar queue vs a reference heap), and the queue-journal recovery fuzz
+# (truncated/bit-flipped/torn journals must never panic or resurrect
+# partial records). FUZZTIME=10m for a soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime $(FUZZTIME) ./internal/queue
+
+# End-to-end smoke of the gangsimd service: boot on a random port, submit
+# a two-run sweep over HTTP, poll to completion, assert the served results
+# are byte-equal (canonicalised) to the gangsim CLI's output for the same
+# specs, then SIGTERM and require a clean drain (exit 0).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The everything gate: vet, build, race tests, the serial-vs-parallel
 # equivalence test under the race detector (the determinism contract of the
 # parallel experiment runner), the audited policy matrix + fault soak, the
 # live-observer smoke (all three HTTP endpoints scraped mid-run), fuzz
-# smokes of randomised audited runs and of event-queue ordering, the
+# smokes of randomised audited runs, event-queue ordering and queue-journal
+# recovery, the gangsimd end-to-end serve smoke (served results must match
+# CLI goldens, SIGTERM must drain cleanly), the
 # bench-regression gate (Fig7Serial + the engine microbenchmarks vs the
 # committed BENCH_sim.json, so event-core wins cannot silently erode), and
 # the tracer-overhead gate (RunTraced may cost at most 10% over
@@ -58,6 +78,8 @@ check:
 	$(GO) test -race -run 'TestHTTPObserverServes|TestTraceDeterministicAcrossParallel' -count 1 .
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime 10s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 10s ./internal/queue
+	./scripts/serve_smoke.sh
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$' -benchtime 1x -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
@@ -74,13 +96,16 @@ check:
 # the BenchmarkEngine* rows record the event queue itself so queue-level
 # regressions show up without a figure run. The BenchmarkRun* trio records
 # the observability stack's price ladder (disabled / events+metrics /
-# full tracing), and BenchmarkFigAttribution the ledger-driven figure.
+# full tracing), BenchmarkFigAttribution the ledger-driven figure, and
+# BenchmarkQueueEnqueueDispatch the durable queue's per-job cycle
+# (journaled enqueue + lease + journaled completion, fsync off).
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	{ $(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun' -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkRunObs|BenchmarkRunTraced' -benchmem . \
-	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
+	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim \
+	  && $(GO) test -run NONE -bench 'BenchmarkQueueEnqueueDispatch' -benchmem ./internal/serve; } \
 	  | bin/benchjson -o BENCH_sim.json
 
 # The obs pair: RunObsDisabled is the zero-overhead claim (parity with the

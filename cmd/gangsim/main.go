@@ -47,6 +47,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/drain"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/plot"
@@ -166,7 +167,20 @@ func run() (err error) {
 		}
 	}
 
-	h, err := gangsched.RunDetailed(spec)
+	// SIGINT/SIGTERM cancel the run at the next simulation step; the
+	// partial result still flows through every sink below (events file,
+	// metrics file, trace export), so an interrupted run leaves complete,
+	// parseable artifacts rather than torn ones. A second signal forces
+	// exit.
+	ctx, stopSignals := drain.Context(context.Background())
+	defer stopSignals()
+
+	h, err := gangsched.RunDetailedContext(ctx, spec)
+	interrupted := h != nil && err != nil && ctx.Err() != nil
+	if interrupted {
+		log.Printf("interrupted: flushing partial results")
+		err = nil
+	}
 	if jsonl != nil {
 		if cerr := jsonl.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("writing %s: %w", *eventsPath, cerr)
@@ -176,10 +190,15 @@ func run() (err error) {
 		return err
 	}
 	if h.Observer != nil {
-		// Serve the post-run state for the linger window, then shut down.
-		if *httpLinger > 0 {
+		// Serve the post-run state for the linger window (cut short by a
+		// signal), then shut down.
+		if *httpLinger > 0 && !interrupted {
 			log.Printf("run complete; observer serving final state for %v", *httpLinger)
-			time.Sleep(*httpLinger)
+			select {
+			case <-time.After(*httpLinger):
+			case <-ctx.Done():
+				log.Printf("interrupted: closing observer")
+			}
 		}
 		if cerr := h.Observer.Close(); cerr != nil {
 			return fmt.Errorf("closing observer: %w", cerr)
@@ -198,7 +217,7 @@ func run() (err error) {
 	}
 
 	var cmp *gangsched.Comparison
-	if *compare && !spec.Batch {
+	if *compare && !spec.Batch && !interrupted {
 		if cmp, err = compareAgainst(spec, h.Result, *parallel); err != nil {
 			return err
 		}
@@ -209,6 +228,9 @@ func run() (err error) {
 			return err
 		}
 	} else {
+		if interrupted {
+			header += " [interrupted]"
+		}
 		printRun(header, h.Result)
 		if cmp != nil {
 			printComparison(h.Result.Policy, *cmp)

@@ -35,15 +35,17 @@ type JobConfig struct {
 
 // SpecConfig is the JSON description of a whole experiment for LoadSpec.
 type SpecConfig struct {
-	Seed     int64   `json:"seed,omitempty"`
-	Nodes    int     `json:"nodes,omitempty"`
-	MemoryMB int     `json:"memoryMB,omitempty"`
-	LockedMB int     `json:"lockedMB,omitempty"`
-	Policy   string  `json:"policy,omitempty"`
-	Batch    bool    `json:"batch,omitempty"`
-	Quantum  string  `json:"quantum,omitempty"`
-	BGFrac   float64 `json:"bgWriteFraction,omitempty"`
-	Traces   bool    `json:"recordTraces,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+	MemoryMB int    `json:"memoryMB,omitempty"`
+	LockedMB int    `json:"lockedMB,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	Batch    bool   `json:"batch,omitempty"`
+	Quantum  string `json:"quantum,omitempty"`
+	// TimeLimit aborts wedged runs, e.g. "24h" (0 = the library default).
+	TimeLimit string  `json:"timeLimit,omitempty"`
+	BGFrac    float64 `json:"bgWriteFraction,omitempty"`
+	Traces    bool    `json:"recordTraces,omitempty"`
 	// Watermark and page-out clustering overrides (0 = defaults).
 	FreeMinPages  int `json:"freeMinPages,omitempty"`
 	FreeHighPages int `json:"freeHighPages,omitempty"`
@@ -100,6 +102,13 @@ func (sc SpecConfig) Spec() (Spec, error) {
 			return Spec{}, fmt.Errorf("gangsched: spec quantum: %w", err)
 		}
 		spec.Quantum = q
+	}
+	if sc.TimeLimit != "" {
+		tl, err := time.ParseDuration(sc.TimeLimit)
+		if err != nil {
+			return Spec{}, fmt.Errorf("gangsched: spec timeLimit: %w", err)
+		}
+		spec.TimeLimit = tl
 	}
 	if sc.Faults != "" {
 		f, err := ParseFaults(sc.Faults)

@@ -1,0 +1,44 @@
+// Package drain is the shared graceful-shutdown helper for the long-lived
+// mains (gangsim -http, gangsimd): a context cancelled by SIGINT/SIGTERM,
+// with a second signal escalating to immediate exit for operators who
+// really mean it.
+package drain
+
+import (
+	"context"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Signals are the termination signals a graceful main listens for.
+var Signals = []os.Signal{syscall.SIGINT, syscall.SIGTERM}
+
+// Context returns a copy of parent cancelled on the first SIGINT/SIGTERM,
+// giving the caller its chance to drain: stop intake, flush sinks and
+// journals, then exit 0. A second signal while draining calls os.Exit(1)
+// immediately — the escape hatch when the drain itself wedges. stop
+// releases the signal handler (call it once shutdown has completed so
+// later signals regain their default behaviour).
+func Context(parent context.Context) (ctx context.Context, stop func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, Signals...)
+	go func() {
+		select {
+		case sig := <-ch:
+			log.Printf("received %v: draining (signal again to force exit)", sig)
+			cancel()
+		case <-ctx.Done():
+			return
+		}
+		sig := <-ch
+		log.Printf("received second %v: forcing exit", sig)
+		os.Exit(1)
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}

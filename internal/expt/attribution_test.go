@@ -14,6 +14,9 @@ import (
 // modelled compute), and the switch bucket shrinking under the full
 // adaptive combination — the figure's whole point.
 func TestAttributionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six paper-scale runs; minutes under -race on small hosts")
+	}
 	cfg := DefaultConfig()
 	rows, err := AttributionStudy(cfg)
 	if err != nil {

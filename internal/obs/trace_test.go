@@ -167,7 +167,7 @@ func TestLedgerPartition(t *testing.T) {
 	l.Retag(CatSwitch)            // refine the fault stall, no time passes
 	l.Transition(380, CatCompute) // 100 switch
 	l.Finish(400)                 // 20 compute
-	a := l.Snapshot(9999) // now ignored once frozen
+	a := l.Snapshot(9999)         // now ignored once frozen
 	want := Attribution{Compute: 120, Barrier: 30, Switch: 100, Queue: 50}
 	if a != want {
 		t.Fatalf("attribution %+v, want %+v", a, want)

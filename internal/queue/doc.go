@@ -1,0 +1,32 @@
+// Package queue is a zero-dependency durable job queue: the persistence
+// tier of gangsimd's two-level dispatch (goroutine pool per worker in
+// internal/runner, this queue across workers and process restarts).
+//
+// State lives in an append-only, fsync'd, checksummed journal of
+// length-prefixed records plus a periodically compacted checkpoint.
+// Recovery tolerates torn or truncated tails by dropping the trailing
+// partial record and reports how much it dropped; it never resurrects a
+// record that failed its checksum. Every mutation bumps the job's version,
+// so replaying a journal that overlaps an already-applied checkpoint (the
+// crash window between checkpoint rename and journal truncation) is
+// idempotent.
+//
+// The job lifecycle is a small lease-based state machine:
+//
+//	pending --Lease--> leased --Complete--> done
+//	   ^                  |
+//	   |                  +--Fail/expired lease--> pending (backoff)
+//	   +------------------+         after MaxAttempts --> dead
+//
+// Leases carry wall-clock deadlines refreshed by Heartbeat; Reclaim
+// returns expired leases to pending with a bounded exponential backoff
+// whose jitter comes from a seeded RNG, so retry schedules are
+// reproducible under test. Jobs that exhaust their attempts land in the
+// terminal dead-letter state instead of looping forever.
+//
+// Payloads and results are opaque JSON: the queue orders, persists and
+// accounts for work without knowing it is simulation specs. Because every
+// gangsched run is a pure function of its spec, re-dispatching a job after
+// a crash converges to byte-identical results — the property the
+// crash-resume soak in internal/serve asserts end to end.
+package queue

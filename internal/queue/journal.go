@@ -1,0 +1,253 @@
+package queue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Journal file layout:
+//
+//	header:  8 bytes  "GSQJ" + uint32 LE format version
+//	record:  4 bytes  uint32 LE payload length
+//	         4 bytes  uint32 LE CRC-32 (IEEE) of the payload
+//	         N bytes  payload (JSON-encoded journal entry)
+//
+// Appends are optionally fsync'd per record. Recovery walks records from
+// the header and stops at the first frame that is truncated, oversized or
+// fails its checksum; everything from that point on is dropped (counted,
+// never decoded) and the file is truncated back to the last good boundary
+// so subsequent appends extend a clean tail.
+
+var journalMagic = [4]byte{'G', 'S', 'Q', 'J'}
+
+const (
+	journalVersion   = 1
+	journalHeaderLen = 8
+	recordHeaderLen  = 8
+	// maxRecordLen bounds a single journal payload. A frame whose length
+	// field exceeds it is treated as corruption, not as a 4 GB allocation.
+	maxRecordLen = 16 << 20
+)
+
+// journal is the append side of the log. It is not safe for concurrent
+// use; Queue serialises access under its mutex.
+type journal struct {
+	f       *os.File
+	path    string
+	sync    bool
+	records int64 // records appended since open/reset
+
+	// failAfter, when positive, makes the journal refuse every append once
+	// that many records have been written since open — the crash-injection
+	// hook the kill-at-random-point soak uses to simulate a worker dying at
+	// an exact record boundary. 0 disables.
+	failAfter int64
+}
+
+// ErrCrashPoint is returned by queue operations once an injected crash
+// point (Options.CrashAfterRecords) is reached. Callers must treat the
+// queue as a dead process: no flush, no checkpoint, just reopen from disk.
+var ErrCrashPoint = errors.New("queue: injected crash point reached")
+
+// ErrCorrupt reports a structurally invalid journal or checkpoint header.
+var ErrCorrupt = errors.New("queue: corrupt journal")
+
+// createJournal truncates (or creates) the journal at path and writes a
+// fresh header.
+func createJournal(path string, sync bool) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [journalHeaderLen]byte
+	copy(hdr[:4], journalMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &journal{f: f, path: path, sync: sync}
+	if err := j.maybeSync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// openJournal opens an existing journal for appending at offset off (the
+// end of the last valid record, as reported by recoverJournal).
+func openJournal(path string, off int64, sync bool) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journal{f: f, path: path, sync: sync}, nil
+}
+
+// Append frames, writes and (optionally) fsyncs one payload.
+func (j *journal) Append(payload []byte) error {
+	if j.failAfter > 0 && j.records >= j.failAfter {
+		return ErrCrashPoint
+	}
+	if len(payload) > maxRecordLen {
+		return fmt.Errorf("queue: journal record of %d bytes exceeds the %d byte cap", len(payload), maxRecordLen)
+	}
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	// One Write call for the frame keeps the torn-tail window as small as
+	// the OS allows; recovery handles any partial prefix regardless.
+	buf := make([]byte, 0, recordHeaderLen+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if err := j.maybeSync(); err != nil {
+		return err
+	}
+	j.records++
+	return nil
+}
+
+func (j *journal) maybeSync() error {
+	if !j.sync {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Reset truncates the journal back to a bare header (after a successful
+// checkpoint has absorbed its records).
+func (j *journal) Reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [journalHeaderLen]byte
+	copy(hdr[:4], journalMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	j.records = 0
+	return j.maybeSync()
+}
+
+// Close flushes and closes the file.
+func (j *journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.maybeSync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// RecoveredJournal is the outcome of scanning a journal file.
+type RecoveredJournal struct {
+	// Records holds the payloads of every valid record, in append order.
+	Records [][]byte
+	// Tail is the file offset just past the last valid record — the append
+	// point for a reopened journal.
+	Tail int64
+	// DroppedBytes counts file bytes past Tail: a torn or corrupt suffix
+	// that recovery discarded.
+	DroppedBytes int64
+	// DroppedRecords estimates how many record frames the discarded suffix
+	// began (0 or 1 for a torn tail; more when corruption hit mid-file,
+	// since nothing after the first bad frame can be trusted).
+	DroppedRecords int64
+}
+
+// recoverJournal reads every valid record from the journal at path. A
+// missing file is not an error (fresh queue). A file too short to hold the
+// header, or with the wrong magic/version, fails with ErrCorrupt — that is
+// operator-level damage, not a torn tail. Within the record stream,
+// corruption of any kind (truncated frame, oversized length, checksum
+// mismatch) ends the scan: the remainder is counted as dropped, never
+// decoded.
+func recoverJournal(path string) (RecoveredJournal, error) {
+	var rec RecoveredJournal
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return rec, os.ErrNotExist
+	}
+	if err != nil {
+		return rec, err
+	}
+	if len(data) < journalHeaderLen {
+		return rec, fmt.Errorf("%w: %d byte file is shorter than the %d byte header",
+			ErrCorrupt, len(data), journalHeaderLen)
+	}
+	if [4]byte(data[:4]) != journalMagic {
+		return rec, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != journalVersion {
+		return rec, fmt.Errorf("%w: unsupported journal version %d", ErrCorrupt, v)
+	}
+	off := int64(journalHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break // clean end
+		}
+		if len(rest) < recordHeaderLen {
+			rec.DroppedRecords++
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxRecordLen || int64(len(rest)) < recordHeaderLen+int64(n) {
+			rec.DroppedRecords++
+			break // implausible length or torn payload
+		}
+		payload := rest[recordHeaderLen : recordHeaderLen+int64(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			// A mid-file checksum failure poisons everything after it:
+			// frame boundaries downstream can no longer be trusted.
+			rec.DroppedRecords++
+			break
+		}
+		rec.Records = append(rec.Records, payload)
+		off += recordHeaderLen + int64(n)
+	}
+	rec.Tail = off
+	rec.DroppedBytes = int64(len(data)) - off
+	if rec.DroppedBytes > 0 && rec.DroppedRecords == 0 {
+		rec.DroppedRecords = 1
+	}
+	return rec, nil
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed file
+// durable against the directory entry itself being lost.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,80 @@
+package runner
+
+import "sync"
+
+// Pool is the persistent counterpart of Map: a fixed set of worker
+// goroutines executing submitted tasks for the life of a service rather
+// than one batch. It is the in-process tier of gangsimd's two-level
+// dispatch — the durable queue (internal/queue) orders work across
+// workers and restarts, the pool fans leased jobs out across CPUs.
+//
+// Submit blocks while every worker is busy, which gives the dispatch loop
+// natural backpressure: it stops leasing when the process is saturated
+// instead of hoarding leases it cannot serve. Panics in tasks are
+// captured per-task (reported to the OnPanic hook) so one poisoned job
+// cannot take the service down.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// OnPanic, when set before any Submit, receives values recovered from
+	// panicking tasks. Nil swallows them (the pool stays up either way).
+	OnPanic func(v any)
+}
+
+// NewPool starts a pool of Workers(workers) goroutines.
+func NewPool(workers int) *Pool {
+	p := &Pool{tasks: make(chan func())}
+	n := Workers(workers)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				p.run(fn)
+			}
+		}()
+	}
+	return p
+}
+
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if v := recover(); v != nil && p.OnPanic != nil {
+			p.OnPanic(v)
+		}
+	}()
+	fn()
+}
+
+// Submit hands fn to an idle worker, blocking until one is free. It
+// reports false (without running fn) once the pool is closed.
+func (p *Pool) Submit(fn func()) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	// Holding the lock across the send keeps Close's channel close from
+	// racing a concurrent Submit; Close waits for this send to land
+	// because it takes the same lock before closing.
+	defer p.mu.Unlock()
+	p.tasks <- fn
+	return true
+}
+
+// Close stops intake and waits for in-flight and queued tasks to finish.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the gangsimd service binary.
+#
+# Boots gangsimd on a random port with a fresh state dir, submits a two-run
+# sweep over HTTP, polls it to completion, and asserts each served result
+# is identical (modulo JSON formatting) to what the gangsim CLI produces
+# for the same spec — the service must add durability, not change results.
+# Finally SIGTERMs the daemon and asserts it drains and exits 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+$GO build -o "$workdir/gangsim" ./cmd/gangsim
+$GO build -o "$workdir/gangsimd" ./cmd/gangsimd
+
+spec() {
+    cat <<EOF
+{"seed":$1,"nodes":1,"memoryMB":8,"policy":"so/ao/ai/bg","quantum":"1s","jobs":[
+ {"name":"a","footprintMB":4,"iterations":40,"touchCostUs":50},
+ {"name":"b","footprintMB":4,"iterations":40,"touchCostUs":50}]}
+EOF
+}
+spec 21 > "$workdir/spec1.json"
+spec 22 > "$workdir/spec2.json"
+
+# CLI goldens: the same specs run directly, results canonicalised with jq.
+"$workdir/gangsim" -config "$workdir/spec1.json" -json | jq -S . > "$workdir/golden1.json"
+"$workdir/gangsim" -config "$workdir/spec2.json" -json | jq -S . > "$workdir/golden2.json"
+
+"$workdir/gangsimd" -addr 127.0.0.1:0 -dir "$workdir/state" -drain-grace 30s \
+    2> "$workdir/daemon.log" &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$workdir/daemon.log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "gangsimd died at startup:"; cat "$workdir/daemon.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "gangsimd never reported its address"; cat "$workdir/daemon.log"; exit 1; }
+echo "serve-smoke: gangsimd on $addr"
+
+jq -n --slurpfile a "$workdir/spec1.json" --slurpfile b "$workdir/spec2.json" \
+    '{kind:"sweep", specs:[$a[0], $b[0]]}' > "$workdir/submit.json"
+parent=$(curl -sSf -X POST "http://$addr/jobs" --data-binary @"$workdir/submit.json" | jq -r .id)
+echo "serve-smoke: submitted sweep $parent"
+
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sSf "http://$addr/jobs/$parent" | jq -r .state)
+    [ "$state" = done ] && break
+    [ "$state" = dead ] && { echo "sweep dead-lettered:"; curl -s "http://$addr/jobs/$parent" | jq .; exit 1; }
+    sleep 0.2
+done
+[ "$state" = done ] || { echo "sweep stuck in state '$state'"; exit 1; }
+
+curl -sSf "http://$addr/jobs/$parent" | jq -S '.result[0].result' > "$workdir/served1.json"
+curl -sSf "http://$addr/jobs/$parent" | jq -S '.result[1].result' > "$workdir/served2.json"
+diff -u "$workdir/golden1.json" "$workdir/served1.json" \
+    || { echo "served result 1 differs from CLI golden"; exit 1; }
+diff -u "$workdir/golden2.json" "$workdir/served2.json" \
+    || { echo "served result 2 differs from CLI golden"; exit 1; }
+echo "serve-smoke: served results match CLI goldens"
+
+curl -sSf "http://$addr/metrics" | grep -q gangsimd_queue_depth \
+    || { echo "/metrics missing queue depth"; exit 1; }
+curl -sSf "http://$addr/healthz" | jq -e '.status == "ok"' > /dev/null
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" -eq 0 ] || { echo "gangsimd exited $rc on SIGTERM (want clean drain):"; cat "$workdir/daemon.log"; exit 1; }
+grep -q drained "$workdir/daemon.log" || { echo "daemon log missing drain marker"; cat "$workdir/daemon.log"; exit 1; }
+echo "serve-smoke: SIGTERM drained cleanly (exit 0)"
