@@ -19,13 +19,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Race tests sized for small hosts: -short skips the multi-second
-# paper-scale studies (internal/expt figure runs, the attribution study)
-# that push `go test -race ./internal/expt` past the default timeout on
-# 1-core machines. Full coverage still runs via `make race` on real
-# hardware.
+# The full race tier, restored: intra-run sharding (GANGSIM_SHARDS=4
+# splits every expt study's cluster into four event shards, results
+# byte-identical) plus a generous timeout bring `go test -race
+# ./internal/expt` back inside the budget on 2-core CI, so this target no
+# longer passes -short. The -short guards remain in the tests themselves
+# for interactive runs on tiny hosts.
 check-race-short:
-	$(GO) test -race -short ./...
+	GANGSIM_SHARDS=4 $(GO) test -race -timeout 40m ./...
 
 # Fault-injection soak: the crash/disk-error/straggler mix under the race
 # detector, repeated so scheduling nondeterminism in the host (not the
@@ -41,13 +42,16 @@ audit:
 	$(GO) test -race -count 1 -run 'TestCrashResumeClearsStaleOutgoing' -v ./internal/gang
 
 # Randomised audited runs: fault/workload/policy combinations with a
-# conservation sweep after every engine event, the event-queue order fuzz
+# conservation sweep after every engine event, the sharded-vs-serial engine
+# equivalence fuzz (random specs must produce byte-identical results and
+# canonical event logs at any shard count), the event-queue order fuzz
 # (calendar queue vs a reference heap), and the queue-journal recovery fuzz
 # (truncated/bit-flipped/torn journals must never panic or resurrect
 # partial records). FUZZTIME=10m for a soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzShardEquivalence -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime $(FUZZTIME) ./internal/queue
 
@@ -65,10 +69,12 @@ serve-smoke:
 # smokes of randomised audited runs, event-queue ordering and queue-journal
 # recovery, the gangsimd end-to-end serve smoke (served results must match
 # CLI goldens, SIGTERM must drain cleanly), the
-# bench-regression gate (Fig7Serial + the engine microbenchmarks vs the
-# committed BENCH_sim.json, so event-core wins cannot silently erode), and
-# the tracer-overhead gate (RunTraced may cost at most 10% over
-# RunObsEnabled — spans and ledgers ride the existing instrument points).
+# bench-regression gate (Fig7Serial + the sharded pair + the engine
+# microbenchmarks vs the committed BENCH_sim.json, so event-core wins
+# cannot silently erode; on hosts with >=4 CPUs benchjson additionally
+# enforces the >=1.6x four-shard speedup floor), and the tracer-overhead
+# gate (RunTraced may cost at most 10% over RunObsEnabled — spans and
+# ledgers ride the existing instrument points).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -77,11 +83,12 @@ check:
 	$(GO) test -race -run 'TestAuditPolicyMatrix|TestAuditFaultSoak' -count 1 .
 	$(GO) test -race -run 'TestHTTPObserverServes|TestTraceDeterministicAcrossParallel' -count 1 .
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzShardEquivalence -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime 10s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 10s ./internal/queue
 	./scripts/serve_smoke.sh
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$' -benchtime 1x -benchmem . \
+	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$|BenchmarkFig7Sharded(1|4)$$' -benchtime 1x -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
 	  | bin/benchjson -compare BENCH_sim.json
 	$(GO) test -run NONE -bench 'BenchmarkRunObsEnabled$$|BenchmarkRunTraced$$' -benchmem -benchtime 2s -count 5 . \
@@ -99,9 +106,14 @@ check:
 # full tracing), BenchmarkFigAttribution the ledger-driven figure, and
 # BenchmarkQueueEnqueueDispatch the durable queue's per-job cycle
 # (journaled enqueue + lease + journaled completion, fsync off).
+# BenchmarkFig7Sharded{1,2,4,8} price the sharded event engine on an
+# eight-node gang pair (Sharded1 is the serial baseline the `make check`
+# speedup gate divides by), and BenchmarkScale512 records the
+# 512-node/128-gang scale study (set GANGSIM_SHARDS to run it sharded).
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	{ $(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem . \
+	{ $(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem -timeout 60m . \
+	  && $(GO) test -run NONE -bench 'BenchmarkScale512$$' -benchtime 1x -benchmem -timeout 60m . \
 	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun' -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkRunObs|BenchmarkRunTraced' -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim \

@@ -15,7 +15,11 @@
 // the exit status is non-zero when any ns/op regresses by more than
 // -threshold percent (derived *AuditOverhead records and benchmarks absent
 // from the baseline are skipped). `make check` runs it against the committed
-// BENCH_sim.json so queue- or figure-level slowdowns fail the gate.
+// BENCH_sim.json so queue- or figure-level slowdowns fail the gate. When the
+// BenchmarkFig7Sharded1/BenchmarkFig7Sharded4 pair appears on stdin the gate
+// also enforces the shard-speedup floor (four shards must beat serial by
+// >=1.6x), skipped with a note on hosts with fewer than four CPUs. Records
+// written with -o carry the measuring host's CPU count under "cpus".
 //
 // With -overhead NEW/BASE the tool gates one stdin benchmark against
 // another from the same stream: it fails when NEW's ns/op exceeds BASE's by
@@ -33,17 +37,22 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark line in machine-readable form.
+// Result is one benchmark line in machine-readable form. Cpus records the
+// measuring host's CPU count: wall-clock speedup claims (the shard-speedup
+// gate) are only meaningful when the host could actually run the shards in
+// parallel, so gates consult it before judging.
 type Result struct {
 	Name     string             `json:"name"`
 	Iters    int64              `json:"iters"`
 	NsPerOp  float64            `json:"ns_op"`
 	BytesOp  float64            `json:"bytes_op,omitempty"`
 	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Cpus     int                `json:"cpus,omitempty"`
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -87,6 +96,9 @@ func main() {
 		return
 	}
 	results = append(results, deriveOverheads(results)...)
+	for i := range results {
+		results[i].Cpus = runtime.NumCPU()
+	}
 
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -148,7 +160,53 @@ func compareAgainst(path string, results []Result, threshold float64) error {
 	if len(regressions) > 0 {
 		return fmt.Errorf("ns/op regression past threshold:\n  %s", strings.Join(regressions, "\n  "))
 	}
+	if err := gateShardSpeedup(results); err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n", compared, threshold, path)
+	return nil
+}
+
+// Shard-speedup floor: at four shards the sharded engine must beat the
+// serial engine by this factor on the Fig7-class pair workload. A lower
+// ratio means the conservative-synchronization windows are too short (or
+// the rendezvous too expensive) to win anything back.
+const (
+	shardSerialBench  = "BenchmarkFig7Sharded1"
+	shardSharded4     = "BenchmarkFig7Sharded4"
+	shardSpeedupFloor = 1.6
+)
+
+// gateShardSpeedup enforces the shard-speedup floor when both the serial
+// and four-shard Fig7 benchmarks appear on stdin. Both runs were produced
+// on this host moments ago, so the host's own CPU count decides whether a
+// wall-clock speedup is even physically possible: with fewer than four
+// CPUs the shards time-slice one another and the gate is skipped.
+func gateShardSpeedup(results []Result) error {
+	minNs := func(name string) float64 {
+		best := -1.0
+		for _, r := range results {
+			if r.Name == name && r.NsPerOp > 0 && (best < 0 || r.NsPerOp < best) {
+				best = r.NsPerOp
+			}
+		}
+		return best
+	}
+	serial, sharded := minNs(shardSerialBench), minNs(shardSharded4)
+	if serial < 0 || sharded < 0 {
+		return nil // pair not on stdin; nothing to judge
+	}
+	if cpus := runtime.NumCPU(); cpus < 4 {
+		fmt.Fprintf(os.Stderr, "benchjson: shard-speedup gate skipped: %d CPU(s) < 4 shards\n", cpus)
+		return nil
+	}
+	speedup := serial / sharded
+	fmt.Fprintf(os.Stderr, "benchjson: shard speedup %s/%s = %.2fx (floor %.1fx)\n",
+		shardSerialBench, shardSharded4, speedup, shardSpeedupFloor)
+	if speedup < shardSpeedupFloor {
+		return fmt.Errorf("shard speedup %.2fx below %.1fx floor (%s %.0f ns/op vs %s %.0f ns/op)",
+			speedup, shardSpeedupFloor, shardSerialBench, serial, shardSharded4, sharded)
+	}
 	return nil
 }
 

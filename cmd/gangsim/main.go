@@ -87,6 +87,7 @@ func run() (err error) {
 	parallel := flag.Int("parallel", 0, "worker goroutines for -compare baseline runs (0 = one per CPU, 1 = serial)")
 	auditOn := flag.Bool("audit", false, "cross-check simulation invariants (conservation laws) during the run, failing fast on the first violation")
 	auditEvery := flag.Int("audit-every", 0, "audit sweep interval in engine events (0 = every event; implies -audit when positive)")
+	shards := flag.Int("shards", 0, "parallel event shards for the run (0/1 = serial engine; results are byte-identical at any count)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -137,6 +138,9 @@ func run() (err error) {
 	}
 	if *auditOn || *auditEvery > 0 {
 		spec.Audit = &gangsched.AuditSpec{Every: *auditEvery}
+	}
+	if *shards > 0 {
+		spec.Shards = *shards
 	}
 
 	// Observability plumbing: a JSONL sink for -events, a registry for

@@ -41,7 +41,10 @@ type SpecConfig struct {
 	LockedMB int    `json:"lockedMB,omitempty"`
 	Policy   string `json:"policy,omitempty"`
 	Batch    bool   `json:"batch,omitempty"`
-	Quantum  string `json:"quantum,omitempty"`
+	// Shards splits the cluster into this many parallel event shards
+	// (0 or 1 = serial engine; see Spec.Shards).
+	Shards  int    `json:"shards,omitempty"`
+	Quantum string `json:"quantum,omitempty"`
 	// TimeLimit aborts wedged runs, e.g. "24h" (0 = the library default).
 	TimeLimit string  `json:"timeLimit,omitempty"`
 	BGFrac    float64 `json:"bgWriteFraction,omitempty"`
@@ -87,6 +90,7 @@ func (sc SpecConfig) Spec() (Spec, error) {
 		LockedMB:        sc.LockedMB,
 		Policy:          sc.Policy,
 		Batch:           sc.Batch,
+		Shards:          sc.Shards,
 		BGWriteFraction: sc.BGFrac,
 		RecordTraces:    sc.Traces,
 		FreeMinPages:    sc.FreeMinPages,

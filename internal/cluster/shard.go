@@ -1,0 +1,705 @@
+package cluster
+
+// Sharded (parallel-in-run) execution. The cluster's nodes are split into
+// contiguous groups, each owning a private sim.Engine; Cluster.Eng becomes a
+// pure coordinator engine carrying everything cross-shard: gang-scheduler
+// timers, barrier releases, fault crash/restore events. Shards free-run on
+// their own goroutines up to a conservative window bound — the coordinator's
+// next event, capped further by any cross-shard operation a shard itself
+// discovers mid-window (a barrier arrival bounds its shard at arrival time
+// plus the collective's minimum cost; a rank finish halts its shard on the
+// spot) — then rendezvous: the coordinator catches every shard up, aligns
+// all clocks, and replays the parked operations in the serial engine's
+// order. DESIGN.md §13 develops the protocol and its determinism and
+// serial-equivalence obligations.
+//
+// Ordering at a shared instant is resolved by each event's schedule
+// provenance (sim.Event ordT/ordS): during aligned cascades every engine
+// stamps schedules from one shared counter, reproducing the serial engine's
+// global (at, seq) order exactly; during free-run windows each shard stamps
+// from its own tagged counter, so cross-shard ties between events scheduled
+// in the same microsecond fall back to shard order — the one documented
+// deviation from serial sequencing, unobservable in the result-level state.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gang"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+const (
+	// alignedOrd tags sub-instant order stamps issued by the shared
+	// rendezvous counter. It sorts above every shard tag: within one
+	// instant, aligned-cascade schedules come after anything a shard
+	// scheduled in the window that already ran.
+	alignedOrd uint64 = 1 << 63
+	// shardOrdShift positions a shard's tag above its 44-bit counter.
+	shardOrdShift = 44
+
+	maxTime = sim.Time(math.MaxInt64)
+)
+
+// bufferSink retains shard-local events until the runtime merges them into
+// the master bus at a rendezvous.
+type bufferSink struct{ events []obs.Event }
+
+func (s *bufferSink) Emit(ev obs.Event) { s.events = append(s.events, ev) }
+
+// pendingOp is a cross-shard operation discovered mid-window, parked for
+// replay at the next rendezvous. Its merge key (t, ordT, ordS) is the ord
+// stamp of the event that triggered it, placing the replay exactly where
+// the serial engine would have run the operation's cascade.
+type pendingOp struct {
+	t    sim.Time
+	ordT sim.Time
+	ordS uint64
+	node int
+	seq  uint64 // per-shard park order, final tiebreak
+	run  func()
+}
+
+// shardGroup is one node shard: a contiguous node range and its engine.
+// The window fields are owned by whichever goroutine is advancing the
+// shard — its worker during windows, the coordinator during catch-up and
+// instant merges — with the start/done channel handshake ordering the
+// handoffs.
+type shardGroup struct {
+	idx         int
+	eng         *sim.Engine
+	first, last int // node id range [first, last]
+
+	parkMode bool     // events are free-running: cross-shard ops must park
+	dynBound sim.Time // current window bound, shrunk by parked arrivals
+	halted   bool     // a parked finish stopped the window at its own time
+	ops      []pendingOp
+	opSeq    uint64
+	ordCtr   uint64 // window schedule sub-order counter
+
+	// stalls tracks, per barrier, how many of this shard's ranks are blocked
+	// inside it (arrived, release not yet fired). While every local rank of a
+	// barrier is blocked, the shard may not free-run past the earliest
+	// possible release — see shardRuntime.stallBound. Maintained only during
+	// aligned phases, on the coordinator goroutine.
+	stalls map[*mpi.Barrier]*barrierStall
+
+	buf     *bufferSink // nil unless observability wants events
+	bus     *obs.Bus    // wraps buf; nil without it
+	tracer  *obs.Tracer // shard span tracer; nil unless tracing is on
+	flushed int         // prefix of buf.events already merged
+
+	start chan sim.Time // window bound handoff to the worker
+	done  chan struct{}
+}
+
+// barrierStall is one shard's view of a barrier generation in flight.
+type barrierStall struct {
+	blocked int          // local ranks arrived and not yet released
+	lastAt  sim.Time     // latest local arrival
+	cost    sim.Duration // collective cost (identical payload per job)
+}
+
+// nLocal is the shard's rank count per job (every job has one rank per node).
+func (g *shardGroup) nLocal() int { return g.last - g.first + 1 }
+
+// noteArrive records a local rank blocking in b at time at.
+func (g *shardGroup) noteArrive(b *mpi.Barrier, at sim.Time, cost sim.Duration) {
+	if g.stalls == nil {
+		g.stalls = make(map[*mpi.Barrier]*barrierStall)
+	}
+	st := g.stalls[b]
+	if st == nil {
+		st = &barrierStall{}
+		g.stalls[b] = st
+	}
+	st.blocked++
+	if st.blocked == 1 || at > st.lastAt {
+		st.lastAt = at
+	}
+	st.cost = cost
+}
+
+// noteRelease records one local rank leaving b (its release callback fired).
+func (g *shardGroup) noteRelease(b *mpi.Barrier) {
+	st := g.stalls[b]
+	st.blocked--
+	if st.blocked == 0 {
+		delete(g.stalls, b)
+	}
+}
+
+// runTo advances the shard's engine through every event strictly before
+// bound, parking (and possibly halting at) cross-shard operations. The
+// engine horizon mirrors the effective bound so touch-run fast-forwarding
+// cannot fold past the window, exactly as the serial global queue would
+// have stopped it at the next cross-shard event.
+func (g *shardGroup) runTo(bound sim.Time) {
+	g.parkMode = true
+	g.dynBound = bound
+	g.halted = false
+	for !g.halted {
+		eb := g.dynBound
+		g.eng.SetHorizon(eb)
+		t, ok := g.eng.NextEventTime()
+		if !ok || t >= eb {
+			break
+		}
+		g.eng.Step()
+	}
+	g.eng.ClearHorizon()
+	g.parkMode = false
+}
+
+// park records op, optionally bounding or halting the current window. Runs
+// on whichever goroutine is advancing the shard.
+func (g *shardGroup) park(op pendingOp, bound sim.Time, halt bool) {
+	g.opSeq++
+	op.seq = g.opSeq
+	g.ops = append(g.ops, op)
+	if halt {
+		g.halted = true
+	}
+	if bound < g.dynBound {
+		g.dynBound = bound
+	}
+}
+
+// takeOp removes and returns ops[i].
+func (g *shardGroup) takeOp(i int) pendingOp {
+	op := g.ops[i]
+	g.ops = append(g.ops[:i], g.ops[i+1:]...)
+	return op
+}
+
+// shardSyncer wraps a job's barrier for one rank. Mid-window the arrival
+// parks the shard — bounded at arrival + the collective's cost, before
+// which no release can fire anywhere (the release is scheduled that cost
+// after the last arrival, and every rank of a job carries the same
+// payload) — and replays on the coordinator at the rendezvous. During
+// aligned cascades (the release of the previous generation resuming ranks
+// with every clock equal) it arrives inline, exactly as the serial engine
+// would.
+type shardSyncer struct {
+	rt   *shardRuntime
+	node int
+	b    *mpi.Barrier
+}
+
+func (s *shardSyncer) Arrive(msgBytes int, release func()) {
+	g := s.rt.groups[s.rt.nodeGroup[s.node]]
+	if !g.parkMode {
+		s.arriveAligned(g, msgBytes, release)
+		return
+	}
+	now := g.eng.Now()
+	ordT, ordS := g.eng.ExecutingOrd()
+	g.park(pendingOp{
+		t: now, ordT: ordT, ordS: ordS, node: s.node,
+		run: func() { s.arriveAligned(g, msgBytes, release) },
+	}, now.Add(s.b.Cost(msgBytes)), false)
+}
+
+// arriveAligned performs the barrier arrival on the coordinator goroutine
+// (inline cascade or parked-op replay), registering the rank's blocked state
+// so later windows stay bounded below the eventual release — which fires on
+// the coordinator and must not land in a shard's already-executed past.
+func (s *shardSyncer) arriveAligned(g *shardGroup, msgBytes int, release func()) {
+	g.noteArrive(s.b, g.eng.Now(), s.b.Cost(msgBytes))
+	s.b.Arrive(msgBytes, func() {
+		g.noteRelease(s.b)
+		release()
+	})
+}
+
+// shardRuntime drives a sharded cluster's run loop. All fields are owned by
+// the coordinator goroutine except where shardGroup notes otherwise.
+type shardRuntime struct {
+	c         *Cluster
+	groups    []*shardGroup
+	nodeGroup []int // node id -> group index
+
+	alignedCtr uint64        // shared sub-instant order counter for aligned phases
+	running    bool          // workers live
+	dispatched []*shardGroup // scratch for runWindows
+	evScratch  []obs.Event   // scratch for event merging
+
+	// Rendezvous-maintained registry instruments (serial uses a step hook).
+	simTime *obs.Gauge
+	events  *obs.Counter
+	counted uint64 // logical events already added to the counter
+}
+
+func newShardRuntime(c *Cluster, nNodes, shards int, seed int64) *shardRuntime {
+	rt := &shardRuntime{c: c, nodeGroup: make([]int, nNodes)}
+	for gi := 0; gi < shards; gi++ {
+		g := &shardGroup{
+			idx:   gi,
+			eng:   sim.NewEngine(seed),
+			first: gi * nNodes / shards,
+			last:  (gi+1)*nNodes/shards - 1,
+		}
+		for n := g.first; n <= g.last; n++ {
+			rt.nodeGroup[n] = gi
+		}
+		// Schedules stamp their sub-instant order from the shared counter
+		// while aligned (cascades replayed at rendezvous, including ones
+		// that schedule onto shard engines) and from the shard's own tagged
+		// counter while free-running; parkMode is flipped by the goroutine
+		// doing the scheduling, so the read is race-free.
+		tag := uint64(gi+1) << shardOrdShift
+		g.eng.SetOrdSource(func() uint64 {
+			if g.parkMode {
+				g.ordCtr++
+				return tag | g.ordCtr
+			}
+			rt.alignedCtr++
+			return alignedOrd | rt.alignedCtr
+		})
+		rt.groups = append(rt.groups, g)
+	}
+	c.Eng.SetOrdSource(func() uint64 {
+		rt.alignedCtr++
+		return alignedOrd | rt.alignedCtr
+	})
+	return rt
+}
+
+func (rt *shardRuntime) nodeEngine(node int) *sim.Engine {
+	return rt.groups[rt.nodeGroup[node]].eng
+}
+
+// enableObs builds the per-shard observability fan-in: a buffer bus per
+// shard when events are wanted, and a shard tracer (disjoint ID space,
+// epoch mirrored from the master) when tracing is on.
+func (rt *shardRuntime) enableObs(setup *obs.Setup) {
+	for _, g := range rt.groups {
+		if setup.Bus != nil {
+			g.buf = &bufferSink{}
+			g.bus = obs.NewBus(g.buf)
+		}
+		if setup.Tracer != nil {
+			g.tracer = obs.NewTracer(setup.Tracer.Cap())
+			g.tracer.SetIDBase(obs.SpanID(g.idx+1) << 40)
+			setup.Tracer.MirrorEpochTo(g.tracer)
+		}
+	}
+}
+
+// deferOp routes a scheduler-deferred operation (epoch completion) for
+// node: inline when aligned, parked otherwise. The operation receives the
+// node's current clock either way.
+func (rt *shardRuntime) deferOp(node int, op func(now sim.Time)) {
+	g := rt.groups[rt.nodeGroup[node]]
+	now := g.eng.Now()
+	if !g.parkMode {
+		op(now)
+		return
+	}
+	ordT, ordS := g.eng.ExecutingOrd()
+	g.park(pendingOp{
+		t: now, ordT: ordT, ordS: ordS, node: node,
+		run: func() { op(now) },
+	}, maxTime, false)
+}
+
+// memberFinished routes a rank completion: inline when aligned (sync-job
+// ranks finish during the barrier-release cascade), parked with an
+// immediate halt otherwise — the finish may complete the job and switch
+// every node, so the shard cannot run past it.
+func (rt *shardRuntime) memberFinished(node int, j *gang.Job) {
+	g := rt.groups[rt.nodeGroup[node]]
+	if !g.parkMode {
+		rt.c.sched.MemberFinished(j)
+		return
+	}
+	now := g.eng.Now()
+	ordT, ordS := g.eng.ExecutingOrd()
+	g.park(pendingOp{
+		t: now, ordT: ordT, ordS: ordS, node: node,
+		run: func() { rt.c.sched.MemberFinished(j) },
+	}, now, true)
+}
+
+func (rt *shardRuntime) startWorkers() {
+	rt.running = true
+	for _, g := range rt.groups {
+		g.start = make(chan sim.Time)
+		g.done = make(chan struct{}, 1)
+		go func(g *shardGroup) {
+			for b := range g.start {
+				g.runTo(b)
+				g.done <- struct{}{}
+			}
+		}(g)
+	}
+}
+
+func (rt *shardRuntime) stopWorkers() {
+	if !rt.running {
+		return
+	}
+	rt.running = false
+	for _, g := range rt.groups {
+		close(g.start)
+	}
+}
+
+// stallBound is the conservative free-run limit barrier stalls impose on
+// shard g. A generation's release fires cost after its last arrival; once
+// every one of g's ranks in a barrier is blocked, g may not run past the
+// earliest instant that release could be: the latest lower bound on the
+// last arrival — the latest known arrival, or any shard still owing a rank
+// (it cannot arrive before its own clock) — plus the collective cost.
+// Recomputed at every dispatch, so the bound advances as the owing shards
+// do (their clocks are stable between windows, when this runs).
+func (rt *shardRuntime) stallBound(g *shardGroup) sim.Time {
+	best := maxTime
+	for b, st := range g.stalls {
+		if st.blocked < g.nLocal() {
+			continue // a local rank still owes an arrival later than any event here
+		}
+		lb := st.lastAt
+		for _, h := range rt.groups {
+			if h == g {
+				continue
+			}
+			blocked := 0
+			if sh := h.stalls[b]; sh != nil {
+				blocked = sh.blocked
+			}
+			if blocked < h.nLocal() {
+				if hn := h.eng.Now(); hn > lb {
+					lb = hn
+				}
+			}
+		}
+		if t := lb.Add(st.cost); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// runWindows free-runs every shard with pending work strictly below bound
+// (tightened per shard by its stall bound), in parallel, and waits for all
+// of them. Reports whether any shard was dispatched.
+func (rt *shardRuntime) runWindows(bound sim.Time) bool {
+	rt.dispatched = rt.dispatched[:0]
+	for _, g := range rt.groups {
+		gb := bound
+		if sb := rt.stallBound(g); sb < gb {
+			gb = sb
+		}
+		if at, ok := g.eng.NextEventTime(); ok && at < gb {
+			g.start <- gb
+			rt.dispatched = append(rt.dispatched, g)
+		}
+	}
+	for _, g := range rt.dispatched {
+		<-g.done
+	}
+	return len(rt.dispatched) > 0
+}
+
+// catchUp advances every lagging shard to t on the coordinator goroutine,
+// parking any cross-shard operations found on the way (they predate t and
+// must replay first). Reports whether new operations were parked.
+func (rt *shardRuntime) catchUp(t sim.Time) bool {
+	changed := false
+	for _, g := range rt.groups {
+		if at, ok := g.eng.NextEventTime(); ok && at < t {
+			n0 := len(g.ops)
+			g.runTo(t)
+			if len(g.ops) > n0 {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// align pins every clock to exactly t. All events strictly before t have
+// fired (catchUp ran clean), so RunBefore only moves clocks.
+func (rt *shardRuntime) align(t sim.Time) {
+	for _, g := range rt.groups {
+		g.eng.RunBefore(t)
+	}
+	rt.c.Eng.RunBefore(t)
+}
+
+// earliestOp reports the earliest parked operation time across shards.
+func (rt *shardRuntime) earliestOp() (sim.Time, bool) {
+	best, ok := maxTime, false
+	for _, g := range rt.groups {
+		for i := range g.ops {
+			if g.ops[i].t < best {
+				best, ok = g.ops[i].t, true
+			}
+		}
+	}
+	return best, ok
+}
+
+func (rt *shardRuntime) groupsHaveEvents() bool {
+	for _, g := range rt.groups {
+		if _, ok := g.eng.NextEventTime(); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// executed sums logical events fired across every engine.
+func (rt *shardRuntime) executed() uint64 {
+	n := rt.c.Eng.Executed()
+	for _, g := range rt.groups {
+		n += g.eng.Executed()
+	}
+	return n
+}
+
+// ordLess orders two same-instant items by schedule provenance.
+func ordLess(aT sim.Time, aS uint64, bT sim.Time, bS uint64) bool {
+	if aT != bT {
+		return aT < bT
+	}
+	return aS < bS
+}
+
+// processInstant retires the global timeline's instant t: coordinator
+// events, shard events and parked operation replays at exactly t execute
+// one at a time in schedule-provenance order — the serial engine's
+// interleaving. Cascades run inline (every clock equals t), so operations
+// triggered here never park. Shard horizons are pinned to t for the whole
+// merge so folds inside cascade-resumed ranks stay single-chunk.
+func (rt *shardRuntime) processInstant(t sim.Time) {
+	for _, g := range rt.groups {
+		g.eng.SetHorizon(t)
+	}
+	for {
+		// Candidate kinds: 0 none, 1 coordinator event, 2 shard event,
+		// 3 parked op.
+		kind := 0
+		var bT sim.Time
+		var bS uint64
+		var bg *shardGroup
+		bi := 0
+		if at, oT, oS, ok := rt.c.Eng.NextEventOrd(); ok && at == t {
+			kind, bT, bS = 1, oT, oS
+		}
+		for _, g := range rt.groups {
+			if at, oT, oS, ok := g.eng.NextEventOrd(); ok && at == t {
+				if kind == 0 || ordLess(oT, oS, bT, bS) {
+					kind, bT, bS, bg = 2, oT, oS, g
+				}
+			}
+			for i := range g.ops {
+				op := &g.ops[i]
+				if op.t != t {
+					continue
+				}
+				if kind == 0 || ordLess(op.ordT, op.ordS, bT, bS) {
+					kind, bT, bS, bg, bi = 3, op.ordT, op.ordS, g, i
+				}
+			}
+		}
+		switch kind {
+		case 0:
+			for _, g := range rt.groups {
+				g.eng.ClearHorizon()
+			}
+			return
+		case 1:
+			rt.c.Eng.Step()
+		case 2:
+			bg.eng.Step()
+		case 3:
+			op := bg.takeOp(bi)
+			op.run()
+		}
+	}
+}
+
+// flush merges shard-buffered events up to the cut (exclusive, or inclusive
+// of the cut instant) into the master bus: gathered across shards, stably
+// ordered by (T, Node) — each node's own emission order is preserved — and
+// re-stamped by the master bus's sequence.
+func (rt *shardRuntime) flush(cut sim.Time, inclusive bool) {
+	if rt.c.obs == nil || rt.c.obs.Bus == nil {
+		return
+	}
+	out := rt.evScratch[:0]
+	for _, g := range rt.groups {
+		evs := g.buf.events
+		i := g.flushed
+		for i < len(evs) && (evs[i].T < cut || (inclusive && evs[i].T == cut)) {
+			i++
+		}
+		out = append(out, evs[g.flushed:i]...)
+		g.flushed = i
+		if g.flushed == len(evs) {
+			g.buf.events = evs[:0]
+			g.flushed = 0
+		}
+	}
+	if len(out) > 1 {
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].T != out[j].T {
+				return out[i].T < out[j].T
+			}
+			return out[i].Node < out[j].Node
+		})
+	}
+	for i := range out {
+		rt.c.obs.Bus.Emit(out[i])
+	}
+	rt.evScratch = out[:0]
+}
+
+// syncInstruments refreshes the rendezvous-maintained registry instruments.
+func (rt *shardRuntime) syncInstruments(now sim.Time) {
+	if rt.simTime != nil {
+		rt.simTime.Set(now.Seconds())
+	}
+	if rt.events != nil {
+		exec := rt.executed()
+		rt.events.Add(float64(exec - rt.counted))
+		rt.counted = exec
+	}
+}
+
+// maxNow reports the farthest clock across engines.
+func (rt *shardRuntime) maxNow() sim.Time {
+	now := rt.c.Eng.Now()
+	for _, g := range rt.groups {
+		if n := g.eng.Now(); n > now {
+			now = n
+		}
+	}
+	return now
+}
+
+// finalize merges everything still shard-side — buffered events, open and
+// closed spans — and settles the instruments. Runs on every exit path so
+// partial results (time limit, cancellation) observe the same fan-in.
+func (rt *shardRuntime) finalize() {
+	end := rt.maxNow()
+	rt.flush(end, true)
+	if rt.c.obs != nil && rt.c.obs.Tracer != nil {
+		for _, g := range rt.groups {
+			g.tracer.CloseAll(end)
+			rt.c.obs.Tracer.Absorb(g.tracer)
+		}
+	}
+	rt.syncInstruments(end)
+}
+
+// run is RunContext for a sharded cluster: windows of shard free-run
+// bounded by the coordinator's next event, rendezvous at every parked
+// operation and coordinator instant, serial-order merges at shared
+// instants.
+func (rt *shardRuntime) run(ctx context.Context, limit sim.Duration) error {
+	c := rt.c
+	rt.startWorkers()
+	defer rt.stopWorkers()
+	defer rt.finalize()
+	c.sched.Start()
+	deadline := c.Eng.Now().Add(limit)
+	// One tick past the deadline: events at the deadline itself still run,
+	// exactly as the serial loop's `at > deadline` check admits them.
+	horizonEnd := deadline.Add(sim.Microsecond)
+	for _, n := range c.Nodes {
+		if n.Rec != nil {
+			n.Rec.Reserve(deadline)
+		}
+	}
+	sinceCheck := uint64(0)
+	lastExec := rt.executed()
+	// Invariant sweeps fire only at aligned instants: the auditor reads
+	// every clock and ledger as of the coordinator's now. Cadence still
+	// counts every shard event — sweeps land at the first rendezvous on or
+	// after where each would have fallen serially.
+	checks := func(now sim.Time) error {
+		rt.syncInstruments(now)
+		if c.stepCheck == nil {
+			return nil
+		}
+		exec := rt.executed()
+		sinceCheck += exec - lastExec
+		lastExec = exec
+		for sinceCheck >= uint64(c.checkEvery) {
+			sinceCheck -= uint64(c.checkEvery)
+			if err := c.stepCheck(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	instant := func(t sim.Time) error {
+		if rt.catchUp(t) {
+			return nil // earlier parked ops surfaced; reconsider from them
+		}
+		rt.align(t)
+		rt.flush(t, false)
+		rt.processInstant(t)
+		rt.flush(t, true)
+		return checks(t)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if c.drain != nil {
+			c.drainRequests()
+		}
+		// Parked operations are the earliest unfinished work: every one was
+		// discovered strictly below the window bound that parked it.
+		if t, ok := rt.earliestOp(); ok {
+			if err := instant(t); err != nil {
+				return err
+			}
+			continue
+		}
+		tC, okC := c.Eng.NextEventTime()
+		bound := horizonEnd
+		if okC && tC < bound {
+			bound = tC
+		}
+		// Dispatch free-run windows; when every shard with pending work is
+		// pinned by a stall bound, fall through to the coordinator's next
+		// instant — its catch-up is sound because any release fired by an
+		// already-replayed arrival would be a coordinator event before tC.
+		if rt.runWindows(bound) {
+			continue
+		}
+		if !okC {
+			if rt.groupsHaveEvents() {
+				// Shard work remains, all of it past the deadline horizon.
+				return &TimeLimitError{Limit: limit, Progress: c.progress()}
+			}
+			break
+		}
+		if tC > deadline {
+			return &TimeLimitError{Limit: limit, Progress: c.progress()}
+		}
+		if err := instant(tC); err != nil {
+			return err
+		}
+	}
+	if c.stepCheck != nil {
+		if err := c.stepCheck(); err != nil {
+			return err
+		}
+	}
+	for _, j := range c.jobs {
+		if !j.Done() {
+			return fmt.Errorf("cluster: job %q wedged (engine drained at %v)", j.Name, c.Eng.Now())
+		}
+	}
+	return nil
+}

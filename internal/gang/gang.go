@@ -99,6 +99,13 @@ type Options struct {
 	// Obs, when non-nil, receives a JobSwitch event per coordinated switch
 	// plus the switch/quantum counters.
 	Obs *obs.SchedObs
+	// DeferOp, when non-nil, routes per-member completion callbacks (the
+	// adaptive page-in replay landing on node `node`) through the caller
+	// instead of running them inline. The sharded cluster uses it to buffer
+	// completions that fire on a node shard's engine and replay them on the
+	// coordinator at the next rendezvous; op receives the simulated time the
+	// completion fired at. Nil (the serial default) runs completions inline.
+	DeferOp func(node int, op func(now sim.Time))
 }
 
 // Stats summarises scheduler activity.
@@ -370,10 +377,16 @@ type epochTrack struct {
 	armed   bool
 }
 
-func (e *epochTrack) complete() {
+func (e *epochTrack) complete() { e.completeAt(e.eng.Now()) }
+
+// completeAt is complete with an explicit completion time: the sharded
+// runtime records when the callback fired on the node shard's clock and
+// replays it here at the rendezvous, after the coordinator engine has
+// already moved past that instant.
+func (e *epochTrack) completeAt(now sim.Time) {
 	e.pending--
 	if e.armed && e.pending == 0 {
-		e.tracer.End(e.eng.Now(), e.span, e.pages)
+		e.tracer.End(now, e.span, e.pages)
 	}
 }
 
@@ -473,7 +486,12 @@ func (s *Scheduler) switchTo(next int) {
 		var onDone func()
 		if et != nil {
 			et.pending++
-			onDone = et.complete
+			if route := s.opts.DeferOp; route != nil {
+				node := i
+				onDone = func() { route(node, et.completeAt) }
+			} else {
+				onDone = et.complete
+			}
 		}
 		n := m.Kernel.AdaptivePageIn(inPID, outPID, in.WSHintPages, onDone)
 		if et != nil {

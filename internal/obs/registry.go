@@ -100,10 +100,11 @@ func (g *Gauge) Value() float64 {
 // Histogram accumulates observations into fixed cumulative buckets, plus a
 // running sum and count. Nil-safe like Counter.
 type Histogram struct {
-	bounds []float64 // sorted upper bounds; +Inf bucket is implicit
-	counts []int64   // len(bounds)+1, non-cumulative per-bucket tallies
-	sum    float64
-	count  int64
+	bounds    []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts    []int64   // len(bounds)+1, non-cumulative per-bucket tallies
+	sum       float64
+	sumMicros int64 // exact integer part of the sum, in microseconds
+	count     int64
 }
 
 // Observe records v.
@@ -114,6 +115,21 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i]++
 	h.sum += v
+	h.count++
+}
+
+// ObserveMicros records a duration of us integer microseconds. Unlike
+// Observe, the sum is accumulated exactly in integers, so the rendered
+// aggregate is independent of observation order — required for sharded
+// runs, which complete spans in a different order than the serial engine.
+func (h *Histogram) ObserveMicros(us int64) {
+	if h == nil {
+		return
+	}
+	v := float64(us) / 1e6
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sumMicros += us
 	h.count++
 }
 
@@ -130,7 +146,7 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum + float64(h.sumMicros)/1e6
 }
 
 // Bounds returns the bucket upper bounds (excluding the implicit +Inf).

@@ -144,7 +144,7 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 		v.stats.FaultStall += stall
 		as.stats.FaultStall += stall
 		if v.obs != nil {
-			v.obs.FaultStall.Observe(stall.Seconds())
+			v.obs.FaultStall.ObserveMicros(int64(stall))
 			v.obs.Tracer.EmitReserved(span, obs.SpanFault, parent, v.obs.Node, pid, start, v.eng.Now(), 0)
 		}
 		resume()

@@ -5,7 +5,11 @@
 # sweep over HTTP, polls it to completion, and asserts each served result
 # is identical (modulo JSON formatting) to what the gangsim CLI produces
 # for the same spec — the service must add durability, not change results.
-# Finally SIGTERMs the daemon and asserts it drains and exits 0.
+# Then submits one *sharded* job (shards:4 on a four-node cluster) and
+# asserts its served result is byte-equal to the serial CLI golden: the
+# sharded engine's result-level determinism contract, end to end through
+# the job queue. Finally SIGTERMs the daemon and asserts it drains and
+# exits 0.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,9 +36,22 @@ EOF
 spec 21 > "$workdir/spec1.json"
 spec 22 > "$workdir/spec2.json"
 
+# A parallel four-node spec, once serial (the CLI golden) and once split
+# over four event shards (what the daemon runs).
+shard_spec() {
+    cat <<EOF
+{"seed":23,"nodes":4,"memoryMB":8,"policy":"so/ao/ai/bg","quantum":"1s",$1"jobs":[
+ {"name":"a","footprintMB":4,"iterations":40,"touchCostUs":50,"msgKB":64},
+ {"name":"b","footprintMB":4,"iterations":40,"touchCostUs":50,"msgKB":64}]}
+EOF
+}
+shard_spec ""            > "$workdir/spec3_serial.json"
+shard_spec '"shards":4,' > "$workdir/spec3.json"
+
 # CLI goldens: the same specs run directly, results canonicalised with jq.
 "$workdir/gangsim" -config "$workdir/spec1.json" -json | jq -S . > "$workdir/golden1.json"
 "$workdir/gangsim" -config "$workdir/spec2.json" -json | jq -S . > "$workdir/golden2.json"
+"$workdir/gangsim" -config "$workdir/spec3_serial.json" -json | jq -S . > "$workdir/golden3.json"
 
 "$workdir/gangsimd" -addr 127.0.0.1:0 -dir "$workdir/state" -drain-grace 30s \
     2> "$workdir/daemon.log" &
@@ -71,6 +88,24 @@ diff -u "$workdir/golden1.json" "$workdir/served1.json" \
 diff -u "$workdir/golden2.json" "$workdir/served2.json" \
     || { echo "served result 2 differs from CLI golden"; exit 1; }
 echo "serve-smoke: served results match CLI goldens"
+
+# Sharded job: the daemon runs the four-node spec split over four event
+# shards; its result must be byte-equal to the serial CLI golden.
+jq -n --slurpfile s "$workdir/spec3.json" '{kind:"run", spec:$s[0]}' > "$workdir/submit3.json"
+shardjob=$(curl -sSf -X POST "http://$addr/jobs" --data-binary @"$workdir/submit3.json" | jq -r .id)
+echo "serve-smoke: submitted sharded run $shardjob"
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sSf "http://$addr/jobs/$shardjob" | jq -r .state)
+    [ "$state" = done ] && break
+    [ "$state" = dead ] && { echo "sharded run dead-lettered:"; curl -s "http://$addr/jobs/$shardjob" | jq .; exit 1; }
+    sleep 0.2
+done
+[ "$state" = done ] || { echo "sharded run stuck in state '$state'"; exit 1; }
+curl -sSf "http://$addr/jobs/$shardjob" | jq -S '.result.result' > "$workdir/served3.json"
+diff -u "$workdir/golden3.json" "$workdir/served3.json" \
+    || { echo "sharded served result differs from serial CLI golden"; exit 1; }
+echo "serve-smoke: sharded result matches serial CLI golden"
 
 curl -sSf "http://$addr/metrics" | grep -q gangsimd_queue_depth \
     || { echo "/metrics missing queue depth"; exit 1; }

@@ -1,0 +1,68 @@
+// Benchmarks for the sharded event engine (DESIGN §13). The Fig7Sharded
+// family times one Figure-7-class gang pair — two synchronized parallel
+// jobs under the full adaptive policy with real memory pressure — on an
+// eight-node cluster at increasing shard counts; Sharded1 is the serial
+// baseline the speedup gate divides by (`benchjson -compare` enforces the
+// >=1.6x floor at four shards on hosts with at least four CPUs).
+// BenchmarkScale512 records the 512-node/128-gang scale study that is the
+// sharding tentpole's reason to exist.
+package gangsched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func shardedFig7Spec(shards int) Spec {
+	return Spec{
+		Seed:     1,
+		Nodes:    8,
+		MemoryMB: 48,
+		Policy:   "so/ao/ai/bg",
+		Quantum:  2 * time.Second,
+		Shards:   shards,
+		Jobs: []JobSpec{
+			{Name: "a", Workload: parallelJob(8000, 30), HintWorkingSet: true},
+			{Name: "b", Workload: parallelJob(8000, 30), HintWorkingSet: true},
+		},
+	}
+}
+
+func benchFig7Sharded(b *testing.B, shards int) {
+	b.Helper()
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(shardedFig7Spec(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = res.Makespan.Seconds()
+	}
+	b.ReportMetric(makespan, "sim_makespan_s")
+}
+
+func BenchmarkFig7Sharded1(b *testing.B) { benchFig7Sharded(b, 1) }
+func BenchmarkFig7Sharded2(b *testing.B) { benchFig7Sharded(b, 2) }
+func BenchmarkFig7Sharded4(b *testing.B) { benchFig7Sharded(b, 4) }
+func BenchmarkFig7Sharded8(b *testing.B) { benchFig7Sharded(b, 8) }
+
+// BenchmarkScale512 runs the 512-node/128-gang scale study. The shard
+// count comes from GANGSIM_SHARDS (see expt.DefaultConfig), so the same
+// record prices the serial engine on 1-CPU hosts and the sharded engine
+// on real hardware; the simulation-domain metrics are identical either
+// way.
+func BenchmarkScale512(b *testing.B) {
+	var r expt.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = expt.ScaleStudy(expt.DefaultConfig(), 512, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MakespanSec, "sim_makespan_s")
+	b.ReportMetric(float64(r.Events), "engine_events")
+	b.ReportMetric(float64(r.Shards), "shards")
+}

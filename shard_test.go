@@ -1,0 +1,328 @@
+package gangsched
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// shardSpec is the golden-equivalence workhorse: a 4-node cluster under
+// over-commit running two synchronized parallel jobs, small enough that the
+// full §4.3 policy matrix times shard counts stays inside a unit-test budget.
+func shardSpec(policy string, shards int) Spec {
+	return Spec{
+		Seed:     1,
+		Nodes:    4,
+		MemoryMB: 8,
+		Policy:   policy,
+		Quantum:  time.Second,
+		Shards:   shards,
+		Jobs: []JobSpec{
+			{Name: "a", Workload: parallelJob(1000, 40), HintWorkingSet: true},
+			{Name: "b", Workload: parallelJob(1000, 40), HintWorkingSet: true},
+		},
+	}
+}
+
+// resultJSON renders a run result for byte-level comparison.
+func resultJSON(t *testing.T, res Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardEquivalencePolicyMatrix runs the full policy matrix serial and
+// sharded: every result must be byte-identical to the serial engine's at
+// every shard count, including counts that do not divide the node count.
+func TestShardEquivalencePolicyMatrix(t *testing.T) {
+	for _, policy := range []string{"orig", "ai", "so", "so/ao", "so/ao/bg", "so/ao/ai/bg"} {
+		t.Run(policy, func(t *testing.T) {
+			ser, err := Run(shardSpec(policy, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := resultJSON(t, ser)
+			for _, shards := range []int{2, 3, 4} {
+				sh, err := Run(shardSpec(policy, shards))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := resultJSON(t, sh); got != want {
+					t.Errorf("shards=%d diverged from serial\nserial:  %s\nsharded: %s", shards, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceBatchMode covers the batch scheduler's rotation-free
+// switching path.
+func TestShardEquivalenceBatchMode(t *testing.T) {
+	spec := shardSpec("so/ao/ai/bg", 1)
+	spec.Batch = true
+	ser, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shards = 4
+	sh, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultJSON(t, ser), resultJSON(t, sh); a != b {
+		t.Errorf("batch mode diverged\nserial:  %s\nsharded: %s", a, b)
+	}
+}
+
+// TestShardEquivalenceFaultSoak drives the full fault matrix — crashes with
+// cold restarts, transient disk errors, a latency-spike straggler — through
+// serial and sharded runs.
+func TestShardEquivalenceFaultSoak(t *testing.T) {
+	build := func(shards int) Spec {
+		s := shardSpec("so/ao/ai/bg", shards)
+		s.Seed = 7
+		s.Faults = &FaultsSpec{
+			DiskErrRate:  0.01,
+			DiskSlowRate: 0.02,
+			SlowLatency:  2 * time.Millisecond,
+			Stragglers:   []FaultStraggler{{Node: 0, Factor: 1.3}},
+			Crashes: []FaultCrash{
+				{Node: 1, At: 2 * time.Second, Downtime: 500 * time.Millisecond},
+				{Node: 3, At: 5 * time.Second, Downtime: time.Second},
+			},
+		}
+		return s
+	}
+	ser, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, ser)
+	if ser.Faults.Crashes != 2 {
+		t.Fatalf("soak run injected %d crashes, want 2", ser.Faults.Crashes)
+	}
+	for _, shards := range []int{2, 4} {
+		sh, err := Run(build(shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := resultJSON(t, sh); got != want {
+			t.Errorf("shards=%d diverged under faults\nserial:  %s\nsharded: %s", shards, want, got)
+		}
+	}
+}
+
+// TestShardEquivalenceAudited holds the invariant auditor at its tightest
+// cadence (a sweep after every engine event, serially; at every rendezvous
+// with full event counting, sharded) across shard counts.
+func TestShardEquivalenceAudited(t *testing.T) {
+	build := func(shards int) Spec {
+		s := shardSpec("so/ao/ai/bg", shards)
+		s.Audit = &AuditSpec{Every: 1}
+		return s
+	}
+	ser, err := RunDetailed(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, ser.Result)
+	for _, shards := range []int{2, 4} {
+		sh, err := RunDetailed(build(shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if sh.AuditChecks == 0 {
+			t.Fatalf("shards=%d: audited run performed no sweeps", shards)
+		}
+		if got := resultJSON(t, sh.Result); got != want {
+			t.Errorf("shards=%d diverged audited\nserial:  %s\nsharded: %s", shards, want, got)
+		}
+	}
+}
+
+// canonicalEvents normalizes an event log for cross-engine comparison: the
+// stream is stably ordered by (T, Node) — preserving each node's own
+// emission order — and the bus sequence numbers are restamped positionally.
+// The sharded runtime's rendezvous flush produces exactly this order up to
+// same-instant interleavings between nodes, which the serial engine does not
+// define observably either.
+func canonicalEvents(evs []obs.Event) []obs.Event {
+	out := append([]obs.Event(nil), evs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Node < out[j].Node
+	})
+	for i := range out {
+		out[i].Seq = uint64(i)
+	}
+	return out
+}
+
+func eventsJSONL(t *testing.T, evs []obs.Event) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// TestShardEquivalenceObservability compares the full observability surface:
+// the canonicalized JSONL event log, the final Prometheus metrics dump, the
+// per-job attribution ledgers (via the result) and the causal span set.
+func TestShardEquivalenceObservability(t *testing.T) {
+	run := func(shards int) *RunHandle {
+		s := shardSpec("so/ao/ai/bg", shards)
+		s.Observe = &obs.Options{
+			KeepEvents: true,
+			EventCap:   1 << 20,
+			Metrics:    true,
+			Trace:      true,
+			SpanCap:    1 << 20,
+			Ledger:     true,
+		}
+		h, err := RunDetailed(s)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return h
+	}
+	ser := run(1)
+	wantRes := resultJSON(t, ser.Result)
+	wantLog := eventsJSONL(t, canonicalEvents(ser.Events))
+	var wantProm bytes.Buffer
+	if err := ser.Metrics.WriteProm(&wantProm); err != nil {
+		t.Fatal(err)
+	}
+	wantSpans := spanFingerprints(ser.Spans())
+	for _, shards := range []int{2, 4} {
+		sh := run(shards)
+		if got := resultJSON(t, sh.Result); got != wantRes {
+			t.Errorf("shards=%d: result diverged\nserial:  %s\nsharded: %s", shards, wantRes, got)
+		}
+		if got := eventsJSONL(t, canonicalEvents(sh.Events)); got != wantLog {
+			t.Errorf("shards=%d: canonical event log diverged (serial %d events, sharded %d)",
+				shards, len(ser.Events), len(sh.Events))
+		}
+		var gotProm bytes.Buffer
+		if err := sh.Metrics.WriteProm(&gotProm); err != nil {
+			t.Fatal(err)
+		}
+		if gotProm.String() != wantProm.String() {
+			t.Errorf("shards=%d: metrics diverged\nserial:\n%s\nsharded:\n%s",
+				shards, wantProm.String(), gotProm.String())
+		}
+		if got := spanFingerprints(sh.Spans()); got != wantSpans {
+			t.Errorf("shards=%d: span set diverged\nserial:  %.2000s\nsharded: %.2000s", shards, wantSpans, got)
+		}
+	}
+}
+
+// spanFingerprints reduces a span set to an ID-free sorted fingerprint:
+// shard tracers allocate IDs from disjoint bases, so only the semantic
+// fields can be compared across engines.
+func spanFingerprints(spans []obs.Span) string {
+	fps := make([]string, len(spans))
+	for i, sp := range spans {
+		fps[i] = fmt.Sprintf("%v|%d|%s|%d|%d|%d|%d|%d",
+			sp.Kind, sp.Node, sp.Job, sp.Ranks, sp.Start, sp.End, sp.Pages, sp.PID)
+	}
+	sort.Strings(fps)
+	var buf bytes.Buffer
+	for _, fp := range fps {
+		buf.WriteString(fp)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// TestShardJitterClampsToSerial: compute jitter consumes the model RNG in
+// node order, which independent shard engines cannot reproduce, so jittered
+// specs silently fall back to the serial engine and still run correctly.
+func TestShardJitterClampsToSerial(t *testing.T) {
+	build := func(shards int) Spec {
+		s := shardSpec("so/ao/ai/bg", shards)
+		for i := range s.Jobs {
+			s.Jobs[i].Workload.Jitter = 0.1
+		}
+		return s
+	}
+	ser, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Run(build(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultJSON(t, ser), resultJSON(t, sh); a != b {
+		t.Errorf("jitter clamp diverged\nserial:  %s\nclamped: %s", a, b)
+	}
+}
+
+// TestShardCountClamped: more shards than nodes is clamped, not an error.
+func TestShardCountClamped(t *testing.T) {
+	if _, err := Run(shardSpec("so/ao/ai/bg", 64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSpecValidation covers the new Spec field.
+func TestShardSpecValidation(t *testing.T) {
+	s := shardSpec("so/ao/ai/bg", -1)
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestSpecConfigShards: the JSON spec schema carries the shard count.
+func TestSpecConfigShards(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"nodes": 4, "memoryMB": 8, "policy": "so/ao/ai/bg", "shards": 4,
+		"jobs": [{"name": "a", "footprintMB": 2, "iterations": 3, "touchCostUs": 50}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", spec.Shards)
+	}
+}
+
+// TestShardTimeLimitEquivalence: a run cut short by the simulated time limit
+// reports the same progress serial and sharded.
+func TestShardTimeLimitEquivalence(t *testing.T) {
+	build := func(shards int) Spec {
+		s := shardSpec("so/ao/ai/bg", shards)
+		s.TimeLimit = 3 * time.Second
+		return s
+	}
+	ser, serErr := Run(build(1))
+	if serErr == nil {
+		t.Fatal("time-limited run unexpectedly completed; tighten the limit")
+	}
+	for _, shards := range []int{2, 4} {
+		sh, shErr := Run(build(shards))
+		if (shErr == nil) != (serErr == nil) {
+			t.Fatalf("shards=%d: error mismatch: serial %v, sharded %v", shards, serErr, shErr)
+		}
+		if a, b := resultJSON(t, ser), resultJSON(t, sh); a != b {
+			t.Errorf("shards=%d diverged at the time limit\nserial:  %s\nsharded: %s", shards, a, b)
+		}
+	}
+}
