@@ -42,15 +42,18 @@ audit:
 	$(GO) test -race -count 1 -run 'TestCrashResumeClearsStaleOutgoing' -v ./internal/gang
 
 # Randomised audited runs: fault/workload/policy combinations with a
-# conservation sweep after every engine event, the sharded-vs-serial engine
-# equivalence fuzz (random specs must produce byte-identical results and
-# canonical event logs at any shard count), the event-queue order fuzz
-# (calendar queue vs a reference heap), and the queue-journal recovery fuzz
-# (truncated/bit-flipped/torn journals must never panic or resurrect
-# partial records). FUZZTIME=10m for a soak.
+# conservation check after every engine event, the differential-vs-oracle
+# audit fuzz (O(delta) checking must give the same verdict and byte-identical
+# results as sweeping the page tables every event, and as not auditing at
+# all), the sharded-vs-serial engine equivalence fuzz (random specs must
+# produce byte-identical results and canonical event logs at any shard
+# count), the event-queue order fuzz (calendar queue vs a reference heap),
+# and the queue-journal recovery fuzz (truncated/bit-flipped/torn journals
+# must never panic or resurrect partial records). FUZZTIME=10m for a soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzAuditDifferential -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzShardEquivalence -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime $(FUZZTIME) ./internal/queue
@@ -69,12 +72,13 @@ serve-smoke:
 # smokes of randomised audited runs, event-queue ordering and queue-journal
 # recovery, the gangsimd end-to-end serve smoke (served results must match
 # CLI goldens, SIGTERM must drain cleanly), the
-# bench-regression gate (Fig7Serial + the sharded pair + the engine
-# microbenchmarks vs the committed BENCH_sim.json, so event-core wins
-# cannot silently erode; on hosts with >=4 CPUs benchjson additionally
-# enforces the >=1.6x four-shard speedup floor), and the tracer-overhead
-# gate (RunTraced may cost at most 10% over RunObsEnabled — spans and
-# ledgers ride the existing instrument points).
+# bench-regression gate (Fig7Serial + the sharded pair + the PolicyRun
+# audit pair + the engine microbenchmarks vs the committed BENCH_sim.json,
+# so event-core wins cannot silently erode; on hosts with >=4 CPUs
+# benchjson additionally enforces the >=1.6x four-shard speedup floor, and
+# whenever the PolicyRun pair is present the <=2x always-on audit budget),
+# and the tracer-overhead gate (RunTraced may cost at most 10% over
+# RunObsEnabled — spans and ledgers ride the existing instrument points).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -83,12 +87,14 @@ check:
 	$(GO) test -race -run 'TestAuditPolicyMatrix|TestAuditFaultSoak' -count 1 .
 	$(GO) test -race -run 'TestHTTPObserverServes|TestTraceDeterministicAcrossParallel' -count 1 .
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzAuditDifferential -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzShardEquivalence -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime 10s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 10s ./internal/queue
 	./scripts/serve_smoke.sh
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$|BenchmarkFig7Sharded(1|4)$$' -benchtime 1x -benchmem . \
+	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun$$|BenchmarkPolicyRunAudited$$' -benchmem -count 3 . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
 	  | bin/benchjson -compare BENCH_sim.json
 	$(GO) test -run NONE -bench 'BenchmarkRunObsEnabled$$|BenchmarkRunTraced$$' -benchmem -benchtime 2s -count 5 . \

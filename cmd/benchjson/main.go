@@ -18,8 +18,11 @@
 // BENCH_sim.json so queue- or figure-level slowdowns fail the gate. When the
 // BenchmarkFig7Sharded1/BenchmarkFig7Sharded4 pair appears on stdin the gate
 // also enforces the shard-speedup floor (four shards must beat serial by
-// >=1.6x), skipped with a note on hosts with fewer than four CPUs. Records
-// written with -o carry the measuring host's CPU count under "cpus".
+// >=1.6x), skipped with a note on hosts with fewer than four CPUs; when the
+// BenchmarkPolicyRun/BenchmarkPolicyRunAudited pair appears it enforces the
+// always-on audit budget (Every=1 differential auditing must cost <=2x the
+// unaudited run). Records written with -o carry the measuring host's CPU
+// count under "cpus".
 //
 // With -overhead NEW/BASE the tool gates one stdin benchmark against
 // another from the same stream: it fails when NEW's ns/op exceeds BASE's by
@@ -133,12 +136,27 @@ func compareAgainst(path string, results []Result, threshold float64) error {
 	for _, r := range baseline {
 		byName[r.Name] = r
 	}
-	compared := 0
-	var regressions []string
+	// Per-name minimum across stdin duplicates (`go test -count N`): the
+	// fastest observation bounds the true cost from above on a quiet
+	// machine, so repeating a noisy benchmark tightens the gate instead of
+	// multiplying its chances to flake.
+	best := make(map[string]Result, len(results))
+	var order []string
 	for _, r := range results {
 		if strings.HasSuffix(r.Name, "AuditOverhead") || r.NsPerOp <= 0 {
 			continue
 		}
+		if prev, ok := best[r.Name]; !ok {
+			best[r.Name] = r
+			order = append(order, r.Name)
+		} else if r.NsPerOp < prev.NsPerOp {
+			best[r.Name] = r
+		}
+	}
+	compared := 0
+	var regressions []string
+	for _, name := range order {
+		r := best[name]
 		base, ok := byName[r.Name]
 		if !ok || base.NsPerOp <= 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline, skipped\n", r.Name)
@@ -161,6 +179,9 @@ func compareAgainst(path string, results []Result, threshold float64) error {
 		return fmt.Errorf("ns/op regression past threshold:\n  %s", strings.Join(regressions, "\n  "))
 	}
 	if err := gateShardSpeedup(results); err != nil {
+		return err
+	}
+	if err := gateAuditOverhead(results); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n", compared, threshold, path)
@@ -206,6 +227,44 @@ func gateShardSpeedup(results []Result) error {
 	if speedup < shardSpeedupFloor {
 		return fmt.Errorf("shard speedup %.2fx below %.1fx floor (%s %.0f ns/op vs %s %.0f ns/op)",
 			speedup, shardSpeedupFloor, shardSerialBench, serial, shardSharded4, sharded)
+	}
+	return nil
+}
+
+// Always-on audit budget: an Every=1 differentially audited policy run may
+// cost at most this factor over the unaudited run. A higher ratio means the
+// O(delta) checks (or the periodic full-sweep cross-check) grew past what
+// "always-on" can justify.
+const (
+	auditPlainBench   = "BenchmarkPolicyRun"
+	auditAuditedBench = "BenchmarkPolicyRunAudited"
+	auditOverheadCap  = 2.0
+)
+
+// gateAuditOverhead enforces the always-on audit budget when both halves of
+// the Every=1 pair appear on stdin. Unlike the shard-speedup gate there is
+// no CPU floor to respect — both runs are single-threaded on the same host —
+// but the same per-name minimum keeps the ratio robust under `-count N`.
+func gateAuditOverhead(results []Result) error {
+	minNs := func(name string) float64 {
+		best := -1.0
+		for _, r := range results {
+			if r.Name == name && r.NsPerOp > 0 && (best < 0 || r.NsPerOp < best) {
+				best = r.NsPerOp
+			}
+		}
+		return best
+	}
+	plain, audited := minNs(auditPlainBench), minNs(auditAuditedBench)
+	if plain < 0 || audited < 0 {
+		return nil // pair not on stdin; nothing to judge
+	}
+	ratio := audited / plain
+	fmt.Fprintf(os.Stderr, "benchjson: audit overhead %s/%s = %.2fx (cap %.1fx)\n",
+		auditAuditedBench, auditPlainBench, ratio, auditOverheadCap)
+	if ratio > auditOverheadCap {
+		return fmt.Errorf("audit overhead %.2fx exceeds %.1fx cap (%s %.0f ns/op vs %s %.0f ns/op)",
+			ratio, auditOverheadCap, auditAuditedBench, audited, auditPlainBench, plain)
 	}
 	return nil
 }

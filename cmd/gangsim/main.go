@@ -193,6 +193,9 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	if note := gangsched.ShardClampNote(spec.Shards, h.Result.ShardsUsed); note != "" {
+		log.Print(note)
+	}
 	if h.Observer != nil {
 		// Serve the post-run state for the linger window (cut short by a
 		// signal), then shut down.

@@ -151,7 +151,8 @@ type Spec struct {
 	// byte-identical to the serial engine at any shard count; shard counts
 	// above Nodes are clamped. Jobs with compute Jitter consume the model
 	// RNG in node order, which sharding cannot reproduce — such specs are
-	// silently clamped to the serial engine.
+	// clamped to the serial engine. Either clamp is visible after the run
+	// as Result.ShardsUsed < Shards (ShardClampNote renders the warning).
 	Shards int
 
 	Quantum         time.Duration // default 5 minutes
@@ -196,12 +197,35 @@ type Spec struct {
 
 // AuditSpec tunes the invariant auditor (see internal/audit).
 type AuditSpec struct {
-	// Every is the sweep interval in engine events (0 or 1 audits after
-	// every event; larger values trade detection latency for speed).
+	// Every is the check interval in engine events. 0 or 1 audits after
+	// every event — the recommended always-on setting now that checks are
+	// differential (O(delta) per event, full sweeps only every CrossEvery
+	// checks); larger values trade detection latency for speed. Negative
+	// values are rejected by Validate.
 	Every int
+	// CrossEvery is the full-sweep oracle cadence in audit checks: every
+	// CrossEvery-th check re-derives all counters from the page tables and
+	// validates the differential aggregates themselves (audit.InvAcctDrift).
+	// 0 picks audit.DefaultCrossEvery, 1 sweeps on every check (the
+	// pre-differential behaviour), negative sweeps only at quiescence.
+	CrossEvery int
 	// TraceTail bounds the observability-event tail attached to a
 	// violation report (0 picks the default of 32; negative disables).
 	TraceTail int
+}
+
+// ShardClampNote describes a silently reduced engine-shard count, for
+// surfacing in CLI and service logs: requested is Spec.Shards, used is the
+// effective count reported on Result.ShardsUsed. It returns "" when nothing
+// was clamped (including when sharding was never requested).
+func ShardClampNote(requested, used int) string {
+	if requested <= 1 || used >= requested {
+		return ""
+	}
+	if used <= 1 {
+		return fmt.Sprintf("gangsched: %d shards requested but the run executed serially (jittered workloads require the serial engine)", requested)
+	}
+	return fmt.Sprintf("gangsched: %d shards requested but only %d used (shard count is clamped to the node count)", requested, used)
 }
 
 // Violation is a broken conservation law reported by the auditor; run
@@ -411,6 +435,13 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Audit != nil {
+		// Shadow aggregates for differential auditing; must precede AddJob
+		// so every address space is accounted from birth. The aggregates
+		// never feed back into the model, so audited runs stay byte-identical
+		// to unaudited ones.
+		cl.EnableAcct()
+	}
 	// The auditor wants a short event tail for violation forensics: force
 	// the always-on flight-recorder ring (Options.Flight), which doubles as
 	// that tail. Observability never feeds back into the model, so the extra
@@ -476,9 +507,10 @@ func RunDetailedContext(ctx context.Context, spec Spec) (*RunHandle, error) {
 	var auditor *audit.Auditor
 	if spec.Audit != nil {
 		auditor = audit.Attach(cl, audit.Config{
-			Every:     spec.Audit.Every,
-			TraceTail: spec.Audit.TraceTail,
-			Ring:      setup.Flight(),
+			Every:      spec.Audit.Every,
+			CrossEvery: spec.Audit.CrossEvery,
+			TraceTail:  spec.Audit.TraceTail,
+			Ring:       setup.Flight(),
 		})
 	}
 	var observer *live.Observer

@@ -22,6 +22,7 @@ func makeCluster(t *testing.T) *cluster.Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.EnableAcct()
 	for _, name := range []string{"a", "b"} {
 		beh := proc.Behavior{
 			FootprintPages: 300,
@@ -148,7 +149,9 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			c := makeCluster(t)
-			a := New(c, Config{})
+			// Oracle mode: every Check is a full sweep, so per-page laws see
+			// corruptions that never touch a shadow aggregate.
+			a := New(c, Config{CrossEvery: 1})
 			c.Scheduler().Start()
 			step(t, c, 400) // mid-run: pages resident, reclaim under way
 			if err := a.Check(); err != nil {
@@ -213,23 +216,206 @@ func TestAuditSweepInterval(t *testing.T) {
 	}
 }
 
-// TestAuditCheckZeroAlloc enforces the zero-garbage contract: after the
-// first sweep sized the scratch, a clean sweep must not allocate.
+// TestAuditCheckZeroAlloc enforces the zero-garbage contract on both check
+// paths: after the first pass sized the scratch, a clean differential check
+// and a clean full sweep must not allocate.
 func TestAuditCheckZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		crossEvery int
+	}{
+		{"differential", -1},
+		{"sweep", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := makeCluster(t)
+			a := New(c, Config{CrossEvery: tc.crossEvery})
+			c.Scheduler().Start()
+			step(t, c, 400)
+			if err := a.Check(); err != nil { // warm-up sizes scratch buffers
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				// Defeat the version gate so the differential pass evaluates
+				// every law instead of skipping the untouched node.
+				c.Nodes[0].Acct.Touch()
+				if err := a.Check(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("clean check allocates %.1f objects per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestAuditDifferentialDetectsCorruption drives the O(delta) path alone
+// (periodic sweeps disabled) against corruptions its aggregate laws cover.
+// Corruptions that bypass the emitting layers don't bump the node version,
+// so each case touches the aggregate afterwards — exactly what any real
+// transition co-occurring with the bug would do.
+func TestAuditDifferentialDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    string
+		corrupt func(t *testing.T, c *cluster.Cluster)
+	}{
+		{
+			name: "leaked frame owned by a ghost process",
+			want: InvFrameConservation,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				if _, ok := c.Nodes[0].Phys.Alloc(99, 0, c.Eng.Now()); !ok {
+					t.Skip("no free frame to leak")
+				}
+			},
+		},
+		{
+			name: "swap slots leak past process teardown",
+			want: InvSwapAccounting,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				if _, err := c.Nodes[0].Swap.Reserve(10); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "selective designation targets the running job",
+			want: InvGangOutgoing,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				c.Nodes[0].VM.SetOutgoing(runningPID(t, c))
+			},
+		},
+		{
+			name: "running rank carries the stopped mark",
+			want: InvGangStopped,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				c.Nodes[0].Kernel.MarkStopped(runningPID(t, c))
+			},
+		},
+		{
+			name: "two jobs running on one node",
+			want: InvGangSingleRun,
+			corrupt: func(t *testing.T, c *cluster.Cluster) {
+				for _, j := range c.Scheduler().Jobs() {
+					m := &j.Members[0]
+					if !m.Proc.Running() {
+						m.Proc.Start()
+						return
+					}
+				}
+				t.Fatal("no stopped rank to start")
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := makeCluster(t)
+			a := New(c, Config{CrossEvery: -1})
+			c.Scheduler().Start()
+			step(t, c, 400)
+			if err := a.Check(); err != nil {
+				t.Fatalf("pre-corruption check failed: %v", err)
+			}
+			tc.corrupt(t, c)
+			c.Nodes[0].Acct.Touch()
+			err := a.Check()
+			var v *Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("corruption not detected differentially (err = %v)", err)
+			}
+			if v.Invariant != tc.want {
+				t.Fatalf("violation attributed to %q, want %q: %v", v.Invariant, tc.want, v)
+			}
+			if a.Sweeps() != 0 {
+				t.Fatalf("differential-only auditor ran %d sweeps", a.Sweeps())
+			}
+		})
+	}
+}
+
+// TestAuditSweepCatchesAcctDrift is the oracle's negative test: a corrupted
+// shadow aggregate that every differential law still accepts (dirty count
+// nudged within its bounds) slips past Check, and the full sweep flags it
+// as acct-drift — a silently weakened audit is itself a violation.
+func TestAuditSweepCatchesAcctDrift(t *testing.T) {
 	c := makeCluster(t)
-	a := New(c, Config{})
+	a := New(c, Config{CrossEvery: -1})
 	c.Scheduler().Start()
 	step(t, c, 400)
-	if err := a.Check(); err != nil { // warm-up sizes scratch buffers
+	if err := a.Check(); err != nil {
 		t.Fatal(err)
 	}
-	allocs := testing.AllocsPerRun(100, func() {
-		if err := a.Check(); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("clean sweep allocates %.1f objects per run, want 0", allocs)
+	cnt := c.Nodes[0].Acct
+	if cnt.Dirty > 0 {
+		cnt.Dirty--
+	} else if cnt.Resident > 0 {
+		cnt.Dirty++
+	} else {
+		t.Fatal("no resident pages to misaccount")
+	}
+	cnt.Touch()
+	if err := a.Check(); err != nil {
+		t.Fatalf("differential check was expected to miss the in-bounds drift, got %v", err)
+	}
+	err := a.Final()
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("sweep did not catch the drifted aggregate (err = %v)", err)
+	}
+	if v.Invariant != InvAcctDrift {
+		t.Fatalf("violation attributed to %q, want %q: %v", v.Invariant, InvAcctDrift, v)
+	}
+}
+
+// TestAuditCrossCadence pins the sweep scheduling contract: CrossEvery=n
+// sweeps every n-th check, CrossEvery<0 sweeps only via Final, and a
+// cluster without shadow aggregates always sweeps.
+func TestAuditCrossCadence(t *testing.T) {
+	c := makeCluster(t)
+	a := Attach(c, Config{Every: 1, CrossEvery: 64})
+	if err := c.Run(time10m()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sweeps() == 0 || a.Sweeps() >= a.Checks() {
+		t.Fatalf("CrossEvery=64 ran %d sweeps out of %d checks", a.Sweeps(), a.Checks())
+	}
+	// Every 64th check sweeps, plus the quiescence Final: allow the ±1 from
+	// the partial trailing window.
+	if got, approx := a.Sweeps(), a.Checks()/64+1; got < approx-1 || got > approx+1 {
+		t.Fatalf("CrossEvery=64 ran %d sweeps over %d checks, want about %d", got, a.Checks(), approx)
+	}
+
+	c = makeCluster(t)
+	a = Attach(c, Config{Every: 1, CrossEvery: -1})
+	if err := c.Run(time10m()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sweeps() != 1 {
+		t.Fatalf("differential-only run swept %d times, want exactly the quiescence sweep", a.Sweeps())
+	}
+
+	// No EnableAcct: the fallback must sweep on every check.
+	plain, err := cluster.New(1, 1, cluster.NodeConfig{MemoryMB: 2}, core.SOAOAIBG, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beh := proc.Behavior{
+		FootprintPages: 100,
+		Iterations:     2,
+		Segments:       []proc.Segment{{Offset: 0, Pages: 100, Write: true, Passes: 1}},
+		TouchCost:      10 * sim.Microsecond,
+	}
+	if _, err := plain.AddJob(cluster.JobSpec{Name: "a", Behavior: beh, Quantum: 20 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	plain.BuildScheduler(gang.Options{})
+	ap := Attach(plain, Config{Every: 1})
+	if err := plain.Run(time10m()); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Sweeps() != ap.Checks() {
+		t.Fatalf("acct-less cluster swept %d of %d checks, want all", ap.Sweeps(), ap.Checks())
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/acct"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/gang"
@@ -96,6 +97,7 @@ type Node struct {
 	Kernel *core.Kernel
 	Rec    *trace.Recorder // nil unless TraceBin was set
 	Obs    *obs.NodeObs    // nil unless EnableObservability was called
+	Acct   *acct.Counts    // nil unless EnableAcct was called
 }
 
 // diskTracer adapts disk transfers into the node's paging-activity series.
@@ -128,6 +130,7 @@ type Cluster struct {
 
 	stepCheck  func() error // invariant check run every checkEvery steps
 	checkEvery int
+	finalCheck func() error // overrides stepCheck at quiescence when set
 
 	drain <-chan func() // live-observer requests, run at step boundaries
 
@@ -202,6 +205,23 @@ func NewSharded(seed int64, nNodes, shards int, ncfg NodeConfig, features core.F
 		})
 	}
 	return c, nil
+}
+
+// EnableAcct allocates each node's differential accounting gauge and
+// attaches it to the node's VM. It must be called before any job is added:
+// the shadow counters start at zero and are maintained purely from
+// transitions, so pre-existing state would never be reflected. The
+// differential auditor requires it; plain runs skip it and pay nothing.
+func (c *Cluster) EnableAcct() {
+	if len(c.jobs) > 0 || c.sched != nil {
+		panic("cluster: EnableAcct after AddJob")
+	}
+	for _, n := range c.Nodes {
+		if n.Acct == nil {
+			n.Acct = &acct.Counts{}
+			n.VM.SetAcct(n.Acct)
+		}
+	}
 }
 
 // Shards reports the shard count the cluster was built with (1 when serial).
@@ -364,6 +384,9 @@ func (c *Cluster) AddJob(spec JobSpec) (*gang.Job, error) {
 			finish = func(*proc.Process) { c.rt.memberFinished(node, job) }
 		}
 		p := proc.New(n.Eng, n.VM, pid, spec.Behavior, sync, finish)
+		if n.Acct != nil {
+			p.SetRunGauge(n.Acct)
+		}
 		if f, ok := c.speeds[n.ID]; ok {
 			p.SlowFactor = f
 		}
@@ -531,6 +554,22 @@ func (c *Cluster) SetStepCheck(every int, fn func() error) {
 	c.stepCheck = fn
 }
 
+// SetFinalCheck installs fn to run at quiescence instead of the step check:
+// the differential auditor forces a full sweep there regardless of its
+// cross-check phase. Nil (the default) falls back to the step check.
+func (c *Cluster) SetFinalCheck(fn func() error) { c.finalCheck = fn }
+
+// quiesceCheck is the invariant check run once when the engine drains.
+func (c *Cluster) quiesceCheck() error {
+	if c.finalCheck != nil {
+		return c.finalCheck()
+	}
+	if c.stepCheck != nil {
+		return c.stepCheck()
+	}
+	return nil
+}
+
 // SetStepDrain installs a channel of closures that RunContext executes at
 // engine-step boundaries — the live observer's bridge into the otherwise
 // single-threaded simulation. Each closure runs on the simulation goroutine
@@ -667,10 +706,8 @@ func (c *Cluster) RunContext(ctx context.Context, limit sim.Duration) error {
 	}
 	// Final sweep at quiescence, so a violation in the very last events is
 	// caught even with a sparse check interval.
-	if c.stepCheck != nil {
-		if err := c.stepCheck(); err != nil {
-			return err
-		}
+	if err := c.quiesceCheck(); err != nil {
+		return err
 	}
 	for _, j := range c.jobs {
 		if !j.Done() {

@@ -691,10 +691,8 @@ func (rt *shardRuntime) run(ctx context.Context, limit sim.Duration) error {
 			return err
 		}
 	}
-	if c.stepCheck != nil {
-		if err := c.stepCheck(); err != nil {
-			return err
-		}
+	if err := c.quiesceCheck(); err != nil {
+		return err
 	}
 	for _, j := range c.jobs {
 		if !j.Done() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/acct"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -185,6 +186,11 @@ type Process struct {
 	// branch per block.
 	led *obs.RankLedger
 
+	// run, when non-nil, is the node's differential accounting gauge: the
+	// running-state transitions post to it so the auditor can verify the
+	// gang laws without enumerating processes.
+	run *acct.Counts
+
 	// resumeFn is p.resume bound once at construction; passing a method
 	// value allocates a closure per call, and resume is scheduled once per
 	// compute chunk and fault on the simulator's hottest path.
@@ -244,6 +250,10 @@ func (p *Process) rollJitter() {
 // SetLedger attaches (or with nil detaches) the rank's attribution ledger.
 func (p *Process) SetLedger(l *obs.RankLedger) { p.led = l }
 
+// SetRunGauge attaches the owning node's differential accounting gauge;
+// must be set before the first Start.
+func (p *Process) SetRunGauge(c *acct.Counts) { p.run = c }
+
 // Ledger returns the attached attribution ledger (nil when disabled).
 func (p *Process) Ledger() *obs.RankLedger { return p.led }
 
@@ -272,6 +282,9 @@ func (p *Process) Start() {
 		return
 	}
 	p.running = true
+	if p.run != nil {
+		p.run.RankStarted(p.pid)
+	}
 	if !p.started {
 		p.started = true
 		p.stats.StartedAt = p.eng.Now()
@@ -282,8 +295,17 @@ func (p *Process) Start() {
 }
 
 // Stop pauses execution (SIGSTOP). An in-flight fault, compute chunk or
-// barrier completes, after which the process waits for Start.
-func (p *Process) Stop() { p.running = false }
+// barrier completes, after which the process waits for Start. Stopping an
+// already-stopped process is a no-op.
+func (p *Process) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	if p.run != nil {
+		p.run.RankStopped()
+	}
+}
 
 // resume is the completion callback for every blocking event.
 func (p *Process) resume() {
@@ -464,6 +486,9 @@ func (p *Process) endIteration() {
 		p.done = true
 		p.ph = phaseDone
 		p.running = false
+		if p.run != nil {
+			p.run.RankStopped()
+		}
 		p.stats.FinishedAt = p.eng.Now()
 		p.led.Finish(p.eng.Now())
 		if p.onFinish != nil {

@@ -243,6 +243,14 @@ func (s *Server) reclaimLoop() {
 // deterministic under its seeds), which is what makes re-dispatch after a
 // crash idempotent.
 func RunExec(ctx context.Context, job queue.Job) (json.RawMessage, error) {
+	return runExec(ctx, job, func(string, ...any) {})
+}
+
+// runExec is RunExec with a sink for operational notes; the server's
+// default executor routes them to its logger, so a submitted spec whose
+// shard request was silently clamped (jittered workload, count above the
+// node count) leaves a visible trace in the service log.
+func runExec(ctx context.Context, job queue.Job, logf func(string, ...any)) (json.RawMessage, error) {
 	var p runPayload
 	if err := json.Unmarshal(job.Spec, &p); err != nil {
 		return nil, fmt.Errorf("decoding run payload: %w", err)
@@ -257,6 +265,9 @@ func RunExec(ctx context.Context, job queue.Job) (json.RawMessage, error) {
 	h, err := gangsched.RunDetailedContext(ctx, spec)
 	if err != nil {
 		return nil, err
+	}
+	if note := gangsched.ShardClampNote(spec.Shards, h.Result.ShardsUsed); note != "" {
+		logf("job %s: %s", job.ID, note)
 	}
 	doc := runDoc{Label: p.Label, Result: h.Result}
 	if p.Events {

@@ -120,7 +120,11 @@ func Start(cfg Config) (*Server, error) {
 		hub:          newEventHub(1024),
 	}
 	if s.exec == nil {
-		s.exec = RunExec
+		// The default executor is RunExec with operational notes (e.g. a
+		// silently clamped shard request) routed to the server's logger.
+		s.exec = func(ctx context.Context, job queue.Job) (json.RawMessage, error) {
+			return runExec(ctx, job, s.logf)
+		}
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}

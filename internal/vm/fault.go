@@ -61,6 +61,9 @@ func (v *VM) TouchResidentAt(pid, vpage, n int, write bool, at sim.Time) {
 			if !f.Dirty {
 				f.Dirty = true
 				as.setDirtyBit(vp)
+				if v.acct != nil {
+					v.acct.PageDirtied()
+				}
 			}
 		}
 		if touchGen[vp] != curGen {
@@ -101,6 +104,9 @@ func (v *VM) TouchRun(pid, vpage, max int, write bool, at sim.Time) int {
 			if !f.Dirty {
 				f.Dirty = true
 				as.setDirtyBit(vp)
+				if v.acct != nil {
+					v.acct.PageDirtied()
+				}
 			}
 		}
 		if touchGen[vp] != curGen {
@@ -186,6 +192,10 @@ func (v *VM) Fault(pid, vpage int, write bool, resume func()) {
 			v.phys.Frame(fid).Age = uint8(v.cfg.AgeStart)
 			as.frames[vpage] = fid
 			as.resident++
+			v.residentSum++
+			if v.acct != nil {
+				v.acct.MapResident()
+			}
 			v.eng.ScheduleDetached(v.cfg.FaultOverhead+v.cfg.ZeroFillCost, finish)
 		}
 		attempt()
@@ -326,6 +336,9 @@ func (v *VM) readIn(as *AddressSpace, group []int, prio disk.Priority, parent ob
 		}
 		return
 	}
+	if v.acct != nil {
+		v.acct.MapInFlight(len(group))
+	}
 	// Slots ascend with group (swap regions are contiguous), so coalesced
 	// runs taken in order correspond to ascending chunks of group.
 	runs := v.coalesceSplit(slots)
@@ -363,6 +376,7 @@ func (v *VM) completeRead(as *AddressSpace, pages []int) {
 		}
 		as.inFlight[vp] = false
 		as.resident++
+		v.residentSum++
 		n++
 		if as.swEvict != nil {
 			as.swEvict[vp] = false // resident again: next eviction decides anew
@@ -376,6 +390,11 @@ func (v *VM) completeRead(as *AddressSpace, pages []int) {
 	}
 	v.stats.PagesIn += int64(n)
 	as.stats.PagesIn += int64(n)
+	if v.acct != nil && n > 0 {
+		// Pages skipped above were already dropped from the shadow by the
+		// crash or teardown that stole them.
+		v.acct.ReadsLanded(n)
+	}
 	if v.obs != nil {
 		v.obs.PagesIn.Add(float64(n))
 	}

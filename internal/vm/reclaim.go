@@ -376,6 +376,7 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 	batches := v.batchScratch[:0]
 	batchOf := v.batchOf
 	clear(batchOf)
+	dirtied := 0
 	for _, vi := range victims {
 		as, vp := vi.as, vi.vpage
 		fid := as.frames[vp]
@@ -384,6 +385,7 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 		}
 		f := v.phys.Frame(fid)
 		if f.Dirty {
+			dirtied++
 			as.clearDirtyBit(vp)
 			i, ok := batchOf[as]
 			if !ok {
@@ -403,6 +405,7 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 		as.bgClean[vp] = false
 		as.frames[vp] = mem.NoFrame
 		as.resident--
+		v.residentSum--
 		if as.swEvict != nil && as.stopped {
 			// The owner is descheduled: this eviction is switch-time paging,
 			// so a later fault on the page counts as switch overhead.
@@ -412,6 +415,9 @@ func (v *VM) evict(victims []victim, prio disk.Priority) {
 		if v.OnPageOut != nil {
 			v.OnPageOut(as.pid, vp)
 		}
+	}
+	if v.acct != nil && len(victims) > 0 {
+		v.acct.Unmapped(len(victims), dirtied)
 	}
 	for i := range batches {
 		b := &batches[i]
@@ -443,6 +449,9 @@ func (v *VM) queueWriteBack(as *AddressSpace, vp int) {
 	}
 	as.wbPending[vp]++
 	v.wbPendingPages++
+	if v.acct != nil {
+		v.acct.WBQueued()
+	}
 }
 
 // submitWriteBack issues coalesced write transactions for the listed pages
@@ -508,6 +517,9 @@ func (v *VM) completeWrite(as *AddressSpace, pages []int) {
 		as.wbPending[vp]--
 		v.wbPendingPages--
 		as.onDisk[vp] = true
+	}
+	if v.acct != nil {
+		v.acct.WBLanded(len(pages))
 	}
 }
 
@@ -601,6 +613,9 @@ func (v *VM) WriteBackDirty(pid, max int, prio disk.Priority) int {
 		as.bgClean[vp] = true
 		v.queueWriteBack(as, vp)
 		pages = append(pages, vp)
+	}
+	if v.acct != nil {
+		v.acct.PagesCleaned(len(pages))
 	}
 	v.agedScratch = heap[:0]
 	n := int64(len(pages))

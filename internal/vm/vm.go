@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/acct"
 	"repro/internal/disk"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -255,6 +256,17 @@ type VM struct {
 	// from the fault, reclaim and write-back paths.
 	obs *obs.NodeObs
 
+	// acct, when non-nil, receives O(delta) conservation postings at every
+	// page-state transition; the differential auditor compares it against
+	// the model's own counters. Nil outside audited runs, so the plain path
+	// pays one predictable branch per transition.
+	acct *acct.Counts
+
+	// residentSum aggregates the per-process resident counters, maintained
+	// at the same sites that mutate them, so ResidentSum is O(1) on the
+	// auditor's hot path. The full sweep re-derives it from the page tables.
+	residentSum int
+
 	// epoch is bumped by Crash; deferred fault-path closures (zero-fill and
 	// read-in retries) from an older epoch must not touch post-crash state.
 	epoch uint64
@@ -378,6 +390,16 @@ func (v *VM) Stats() Stats { return v.stats }
 // SetObs attaches the node's observability instruments (nil to detach).
 func (v *VM) SetObs(o *obs.NodeObs) { v.obs = o }
 
+// SetAcct attaches the node's differential accounting gauge. It must be
+// attached before any process exists: the shadow counters start at zero and
+// are maintained purely from transitions.
+func (v *VM) SetAcct(c *acct.Counts) {
+	if c != nil && len(v.procs) > 0 {
+		panic("vm: SetAcct after processes were created")
+	}
+	v.acct = c
+}
+
 // SetRankLedger attaches pid's attribution ledger and allocates the
 // switch-eviction bitmap that refines fault stalls into switch overhead.
 func (v *VM) SetRankLedger(pid int, led *obs.RankLedger) {
@@ -393,6 +415,11 @@ func (v *VM) SetRankLedger(pid int, led *obs.RankLedger) {
 func (v *VM) NoteStopped(pid int, stopped bool) {
 	if as := v.procs[pid]; as != nil {
 		as.stopped = stopped
+	}
+	if v.acct != nil {
+		// The stopped mark feeds the gang-stopped law; bump the version so
+		// the differential auditor re-evaluates it at the next boundary.
+		v.acct.Touch()
 	}
 }
 
@@ -411,6 +438,9 @@ func (v *VM) SetOutgoing(pid int) {
 		}
 	}
 	v.outgoing = pid
+	if v.acct != nil {
+		v.acct.Touch() // outgoing designation feeds the gang-outgoing law
+	}
 }
 
 // Outgoing reports the currently designated outgoing process (0 if none).
@@ -450,6 +480,9 @@ func (v *VM) NewProcess(pid, numPages int) (*AddressSpace, error) {
 		as.frames[i] = mem.NoFrame
 	}
 	v.procs[pid] = as
+	if v.acct != nil {
+		v.acct.RegionReserved(int64(region.N))
+	}
 	return as, nil
 }
 
@@ -475,12 +508,25 @@ func (v *VM) AppendPIDs(dst []int) []int {
 // fault waiters are dropped; in-flight disk transfers complete harmlessly.
 func (v *VM) DestroyProcess(pid int) {
 	as := v.mustProc(pid)
+	// The teardown deltas for the accounting shadow are tallied from the
+	// frame table itself as it is dismantled, not from the model's counters.
+	mapped, res, inFl, dirtied := 0, 0, 0, 0
 	for vp, fid := range as.frames {
 		if fid != mem.NoFrame {
+			mapped++
+			if as.inFlight[vp] {
+				inFl++
+			} else {
+				res++
+				if v.phys.Frame(fid).Dirty {
+					dirtied++
+				}
+			}
 			v.phys.Release(fid)
 			as.frames[vp] = mem.NoFrame
 		}
 	}
+	v.residentSum -= as.resident
 	as.resident = 0
 	as.waiters = nil
 	for vp := range as.inFlight {
@@ -491,11 +537,16 @@ func (v *VM) DestroyProcess(pid int) {
 	// aggregate now. The swap region is released below; the disk may still
 	// write the old slots, which is harmless — the slots carry no identity
 	// once the region is gone.
+	wb := 0
 	for vp := range as.wbPending {
 		if as.wbPending[vp] > 0 {
+			wb += int(as.wbPending[vp])
 			v.wbPendingPages -= int(as.wbPending[vp])
 			as.wbPending[vp] = 0
 		}
+	}
+	if v.acct != nil {
+		v.acct.Dropped(mapped, res, inFl, dirtied, wb, int64(as.region.N))
 	}
 	v.space.ReleaseRegion(as.region)
 	delete(v.procs, pid)
@@ -525,8 +576,18 @@ func (v *VM) Crash() {
 	var resumes []func()
 	for _, pid := range pids {
 		as := v.procs[pid]
+		mapped, res, inFl, dirtied, wb := 0, 0, 0, 0, 0
 		for vp, fid := range as.frames {
 			if fid != mem.NoFrame {
+				mapped++
+				if as.inFlight[vp] {
+					inFl++
+				} else {
+					res++
+					if v.phys.Frame(fid).Dirty {
+						dirtied++
+					}
+				}
 				v.phys.Release(fid)
 				as.frames[vp] = mem.NoFrame
 			}
@@ -541,9 +602,14 @@ func (v *VM) Crash() {
 			// written. Slots with an earlier completed write keep onDisk: a
 			// valid (if stale) copy really is on the device.
 			if as.wbPending[vp] > 0 {
+				wb += int(as.wbPending[vp])
 				v.wbPendingPages -= int(as.wbPending[vp])
 				as.wbPending[vp] = 0
 			}
+		}
+		if v.acct != nil {
+			// Regions survive a reboot, so no slot delta.
+			v.acct.Dropped(mapped, res, inFl, dirtied, wb, 0)
 		}
 		clear(as.dirtyMap)
 		if as.swEvict != nil {
@@ -551,6 +617,7 @@ func (v *VM) Crash() {
 			// their refaults are ordinary fault stalls.
 			clear(as.swEvict)
 		}
+		v.residentSum -= as.resident
 		as.resident = 0
 		// Collect waiters in vpage order, then fire after all bookkeeping is
 		// consistent: a resumed process may immediately re-fault.
@@ -627,6 +694,12 @@ func (v *VM) WSEstimate(pid int) int {
 // write-back pages; the auditor cross-checks it against a per-page
 // recomputation.
 func (v *VM) PendingWriteBacks() int { return v.wbPendingPages }
+
+// ResidentSum reports the total of the per-process resident counters. The
+// differential auditor compares it against the accounting shadow every time
+// the node's books move, so it is a maintained aggregate rather than a map
+// walk; the full sweep validates it against the page tables.
+func (v *VM) ResidentSum() int { return v.residentSum }
 
 // Validate cross-checks VM bookkeeping against the frame table. Unlike the
 // structured auditor in internal/audit (which grew out of this hook and

@@ -32,6 +32,10 @@ func shardSpec(policy string, shards int) Spec {
 // resultJSON renders a run result for byte-level comparison.
 func resultJSON(t *testing.T, res Result) string {
 	t.Helper()
+	// ShardsUsed reports the engine parallelism itself, so it is the one
+	// field that legitimately differs between a serial and a sharded run of
+	// the same workload; equivalence is over everything else.
+	res.ShardsUsed = 0
 	b, err := json.Marshal(res)
 	if err != nil {
 		t.Fatal(err)
@@ -279,6 +283,62 @@ func TestShardJitterClampsToSerial(t *testing.T) {
 func TestShardCountClamped(t *testing.T) {
 	if _, err := Run(shardSpec("so/ao/ai/bg", 64)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardClampSurfaced: shard-count clamps are no longer silent — the
+// effective engine parallelism is recorded on the result, and ShardClampNote
+// renders the operator-facing warning exactly when a clamp occurred.
+func TestShardClampSurfaced(t *testing.T) {
+	jittered := shardSpec("so/ao/ai/bg", 4)
+	for i := range jittered.Jobs {
+		jittered.Jobs[i].Workload.Jitter = 0.1
+	}
+	cases := []struct {
+		name      string
+		spec      Spec
+		wantUsed  int
+		wantNoted bool
+	}{
+		{"jitter forces serial", jittered, 1, true},
+		{"shards above nodes clamp", shardSpec("so/ao/ai/bg", 64), 4, true},
+		{"requested parallelism kept", shardSpec("so/ao/ai/bg", 4), 4, false},
+		{"serial run", shardSpec("so/ao/ai/bg", 1), 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ShardsUsed != tc.wantUsed {
+				t.Fatalf("ShardsUsed = %d, want %d", res.ShardsUsed, tc.wantUsed)
+			}
+			if note := ShardClampNote(tc.spec.Shards, res.ShardsUsed); (note != "") != tc.wantNoted {
+				t.Fatalf("ShardClampNote(%d, %d) = %q, want noted=%v",
+					tc.spec.Shards, res.ShardsUsed, note, tc.wantNoted)
+			}
+		})
+	}
+}
+
+// TestShardClampNote pins the helper's edge cases without running anything.
+func TestShardClampNote(t *testing.T) {
+	cases := []struct {
+		requested, used int
+		want            bool
+	}{
+		{0, 1, false}, // sharding never requested
+		{1, 1, false}, // serial request satisfied serially
+		{4, 4, false}, // request satisfied exactly
+		{4, 8, false}, // never warns when more parallelism was delivered
+		{4, 1, true},  // jitter clamp to serial
+		{64, 4, true}, // clamped to the node count
+	}
+	for _, tc := range cases {
+		if got := ShardClampNote(tc.requested, tc.used); (got != "") != tc.want {
+			t.Errorf("ShardClampNote(%d, %d) = %q, want note=%v", tc.requested, tc.used, got, tc.want)
+		}
 	}
 }
 
