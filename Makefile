@@ -48,8 +48,10 @@ audit:
 # all), the sharded-vs-serial engine equivalence fuzz (random specs must
 # produce byte-identical results and canonical event logs at any shard
 # count), the event-queue order fuzz (calendar queue vs a reference heap),
-# and the queue-journal recovery fuzz (truncated/bit-flipped/torn journals
-# must never panic or resurrect partial records). FUZZTIME=10m for a soak.
+# the queue-journal recovery fuzz (truncated/bit-flipped/torn journals
+# must never panic or resurrect partial records), and the trace-store
+# round-trip fuzz (random event streams and writer geometries must dump
+# back byte-identical JSONL). FUZZTIME=10m for a soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAuditedRun -fuzztime $(FUZZTIME) .
@@ -57,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzShardEquivalence -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime $(FUZZTIME) ./internal/queue
+	$(GO) test -run '^$$' -fuzz FuzzStoreRoundTrip -fuzztime $(FUZZTIME) ./internal/store
 
 # End-to-end smoke of the gangsimd service: boot on a random port, submit
 # a two-run sweep over HTTP, poll to completion, assert the served results
@@ -76,9 +79,12 @@ serve-smoke:
 # audit pair + the engine microbenchmarks vs the committed BENCH_sim.json,
 # so event-core wins cannot silently erode; on hosts with >=4 CPUs
 # benchjson additionally enforces the >=1.6x four-shard speedup floor, and
-# whenever the PolicyRun pair is present the <=2x always-on audit budget),
-# and the tracer-overhead gate (RunTraced may cost at most 10% over
-# RunObsEnabled — spans and ledgers ride the existing instrument points).
+# whenever the PolicyRun pair is present the <=2x always-on audit budget,
+# and whenever BenchmarkStoreEncode is present the trace store's >=5x
+# bytes-per-event compression floor plus bytes/event growth), and the two
+# overhead gates: RunTraced and RunStored may each cost at most 10% over
+# RunObsEnabled (spans/ledgers and the store's delta encoder both ride the
+# existing instrument points).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -91,14 +97,18 @@ check:
 	$(GO) test -run '^$$' -fuzz FuzzShardEquivalence -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzEngineOrder -fuzztime 10s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzJournalRecover -fuzztime 10s ./internal/queue
+	$(GO) test -run '^$$' -fuzz FuzzStoreRoundTrip -fuzztime 10s ./internal/store
 	./scripts/serve_smoke.sh
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	{ $(GO) test -run NONE -bench 'BenchmarkFig7Serial$$|BenchmarkFig7Sharded(1|4)$$' -benchtime 1x -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun$$|BenchmarkPolicyRunAudited$$' -benchmem -count 3 . \
-	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim; } \
+	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim \
+	  && $(GO) test -run NONE -bench 'BenchmarkStore' -benchmem -count 3 ./internal/store; } \
 	  | bin/benchjson -compare BENCH_sim.json
-	$(GO) test -run NONE -bench 'BenchmarkRunObsEnabled$$|BenchmarkRunTraced$$' -benchmem -benchtime 2s -count 5 . \
+	$(GO) test -run NONE -bench 'BenchmarkRunObsEnabled$$|BenchmarkRunTraced$$|BenchmarkRunStored$$' -benchmem -benchtime 2s -count 5 . \
+	  | tee bin/obs_bench.txt \
 	  | bin/benchjson -overhead BenchmarkRunTraced/BenchmarkRunObsEnabled -threshold 10
+	bin/benchjson -overhead BenchmarkRunStored/BenchmarkRunObsEnabled -threshold 10 < bin/obs_bench.txt
 
 # Simulator benchmark suite with allocation stats, summarised into the
 # machine-readable BENCH_sim.json (name, ns/op, B/op, allocs/op). The
@@ -109,7 +119,10 @@ check:
 # the BenchmarkEngine* rows record the event queue itself so queue-level
 # regressions show up without a figure run. The BenchmarkRun* trio records
 # the observability stack's price ladder (disabled / events+metrics /
-# full tracing), BenchmarkFigAttribution the ledger-driven figure, and
+# full tracing), BenchmarkRunStored the same run with the binary trace
+# store as its sink, BenchmarkStore{Encode,Decode,RangeQuery} the store
+# itself (bytes/event and the JSONL comparison ride along as custom
+# metrics), BenchmarkFigAttribution the ledger-driven figure, and
 # BenchmarkQueueEnqueueDispatch the durable queue's per-job cycle
 # (journaled enqueue + lease + journaled completion, fsync off).
 # BenchmarkFig7Sharded{1,2,4,8} price the sharded event engine on an
@@ -121,8 +134,9 @@ bench:
 	{ $(GO) test -run NONE -bench 'BenchmarkFig' -benchtime 1x -benchmem -timeout 60m . \
 	  && $(GO) test -run NONE -bench 'BenchmarkScale512$$' -benchtime 1x -benchmem -timeout 60m . \
 	  && $(GO) test -run NONE -bench 'BenchmarkPolicyRun' -benchmem . \
-	  && $(GO) test -run NONE -bench 'BenchmarkRunObs|BenchmarkRunTraced' -benchmem . \
+	  && $(GO) test -run NONE -bench 'BenchmarkRunObs|BenchmarkRunTraced|BenchmarkRunStored' -benchmem . \
 	  && $(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem ./internal/sim \
+	  && $(GO) test -run NONE -bench 'BenchmarkStore' -benchmem ./internal/store \
 	  && $(GO) test -run NONE -bench 'BenchmarkQueueEnqueueDispatch' -benchmem ./internal/serve; } \
 	  | bin/benchjson -o BENCH_sim.json
 

@@ -21,8 +21,11 @@
 // >=1.6x), skipped with a note on hosts with fewer than four CPUs; when the
 // BenchmarkPolicyRun/BenchmarkPolicyRunAudited pair appears it enforces the
 // always-on audit budget (Every=1 differential auditing must cost <=2x the
-// unaudited run). Records written with -o carry the measuring host's CPU
-// count under "cpus".
+// unaudited run); when BenchmarkStoreEncode appears it enforces the trace
+// store's compression floor (binary bytes/event must be <=1/5 of the same
+// events' JSONL bytes/event) and, against the baseline, gates bytes/event
+// growth past -threshold percent alongside ns/op. Records written with -o
+// carry the measuring host's CPU count under "cpus".
 //
 // With -overhead NEW/BASE the tool gates one stdin benchmark against
 // another from the same stream: it fails when NEW's ns/op exceeds BASE's by
@@ -171,6 +174,19 @@ func compareAgainst(path string, results []Result, threshold float64) error {
 				fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)",
 					r.Name, pct, base.NsPerOp, r.NsPerOp, threshold))
 		}
+		// Size regressions are as real as time regressions for the trace
+		// store: when both sides report bytes/event, gate its growth too.
+		bOld, bNew := base.Metrics[bytesPerEventMetric], r.Metrics[bytesPerEventMetric]
+		if bOld > 0 && bNew > 0 {
+			bpct := 100 * (bNew - bOld) / bOld
+			fmt.Fprintf(os.Stderr, "benchjson: %-40s %14.2f -> %14.2f %s (%+.1f%%)\n",
+				r.Name, bOld, bNew, bytesPerEventMetric, bpct)
+			if bpct > threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s grew %.1f%% in %s (%.2f -> %.2f, threshold %.0f%%)",
+						r.Name, bpct, bytesPerEventMetric, bOld, bNew, threshold))
+			}
+		}
 	}
 	if compared == 0 {
 		return fmt.Errorf("no stdin benchmark matched a baseline record in %s", path)
@@ -182,6 +198,9 @@ func compareAgainst(path string, results []Result, threshold float64) error {
 		return err
 	}
 	if err := gateAuditOverhead(results); err != nil {
+		return err
+	}
+	if err := gateStoreCompression(results); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n", compared, threshold, path)
@@ -267,6 +286,42 @@ func gateAuditOverhead(results []Result) error {
 			ratio, auditOverheadCap, auditAuditedBench, audited, auditPlainBench, plain)
 	}
 	return nil
+}
+
+// Trace-store compression floor: the binary encoding must keep one event
+// at no more than a fifth of its JSONL rendering on the synthetic store
+// workload. BenchmarkStoreEncode reports both sides as custom metrics, so
+// the gate is a pure ratio of the same run's numbers — no baseline drift.
+const (
+	storeEncodeBench     = "BenchmarkStoreEncode"
+	bytesPerEventMetric  = "bytes/event"
+	jsonlBytesPerEvent   = "jsonl-bytes/event"
+	storeCompressionMinX = 5.0
+)
+
+// gateStoreCompression enforces the ≥5x bytes-per-event floor whenever
+// BenchmarkStoreEncode appears on stdin with both size metrics. Metric
+// values are identical across -count repeats (the workload is fixed), so
+// the first occurrence decides.
+func gateStoreCompression(results []Result) error {
+	for _, r := range results {
+		if r.Name != storeEncodeBench {
+			continue
+		}
+		bin, jl := r.Metrics[bytesPerEventMetric], r.Metrics[jsonlBytesPerEvent]
+		if bin <= 0 || jl <= 0 {
+			continue
+		}
+		ratio := jl / bin
+		fmt.Fprintf(os.Stderr, "benchjson: store compression %.2f vs %.2f JSONL bytes/event = %.2fx (floor %.1fx)\n",
+			bin, jl, ratio, storeCompressionMinX)
+		if ratio < storeCompressionMinX {
+			return fmt.Errorf("store compression %.2fx below %.1fx floor (%.2f binary vs %.2f JSONL bytes/event)",
+				ratio, storeCompressionMinX, bin, jl)
+		}
+		return nil
+	}
+	return nil // benchmark not on stdin; nothing to judge
 }
 
 // gateOverhead prices one stdin benchmark against another: pair names them

@@ -6,7 +6,7 @@
 //
 //	gangsim -app LU -class B -ranks 1 -policy so/ao/ai/bg [-batch] \
 //	        [-quantum 5m] [-seed 1] [-compare] [-json] \
-//	        [-events run.jsonl] [-metrics run.prom] \
+//	        [-events run.jsonl] [-store traces/] [-metrics run.prom] \
 //	        [-faults 'crash=n1@12m,downtime=2m;diskerr=0.001']
 //
 // With -compare, it also runs the batch baseline and the original policy
@@ -23,8 +23,10 @@
 // without faults.
 //
 // Observability: -events streams every structured simulation event to a
-// JSONL file (replayable with pagetrace -replay), -metrics writes the final
-// metric values in the Prometheus text exposition format, -trace-out
+// JSONL file (replayable with pagetrace -replay), -store appends the same
+// stream to an indexed binary trace store (~10x smaller; query or export it
+// with the store tool, replay it with pagetrace -replay), -metrics writes
+// the final metric values in the Prometheus text exposition format, -trace-out
 // exports the run's causal spans as Chrome trace_event JSON (loadable in
 // Perfetto or chrome://tracing), -attrib decomposes each job's wall time
 // into {compute, barrier, fault, switch, queue, down}, and -http serves the
@@ -51,6 +53,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/plot"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -77,6 +80,8 @@ func run() (err error) {
 	jsonOut := flag.Bool("json", false, "emit the result (or comparison) as JSON on stdout")
 	faultsPlan := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'crash=n1@12m,downtime=2m;diskerr=0.001;slow=n0x1.5'")
 	eventsPath := flag.String("events", "", "write the structured event stream as JSONL to this file")
+	storeDir := flag.String("store", "", "append the event stream to the indexed binary trace store rooted at this directory")
+	storeRun := flag.String("store-run", "", "run name inside the -store directory (default: policy and seed)")
 	metricsPath := flag.String("metrics", "", "write final metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the run's causal spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	attrib := flag.Bool("attrib", false, "decompose each job's wall time into {compute, barrier, fault, switch, queue, down}")
@@ -143,12 +148,16 @@ func run() (err error) {
 		spec.Shards = *shards
 	}
 
-	// Observability plumbing: a JSONL sink for -events, a registry for
-	// -metrics (or the -http scrape endpoint), the span tracer for
-	// -trace-out, rank ledgers for -attrib and the /progress endpoint. The
-	// policy run carries it; -compare baselines run bare.
+	// Observability plumbing: a JSONL sink for -events, a binary store sink
+	// for -store, a registry for -metrics (or the -http scrape endpoint),
+	// the span tracer for -trace-out, rank ledgers for -attrib and the
+	// /progress endpoint. The policy run carries it; -compare baselines run
+	// bare.
 	var jsonl *obs.JSONLSink
-	if *eventsPath != "" || *metricsPath != "" || *traceOut != "" || *attrib || *httpAddr != "" {
+	var storeSink *store.Sink
+	var eventStore *store.Store
+	runName := *storeRun
+	if *eventsPath != "" || *storeDir != "" || *metricsPath != "" || *traceOut != "" || *attrib || *httpAddr != "" {
 		o := &obs.Options{
 			Metrics: *metricsPath != "" || *httpAddr != "",
 			Trace:   *traceOut != "",
@@ -160,7 +169,27 @@ func run() (err error) {
 				return err
 			}
 			jsonl = obs.NewJSONL(f)
-			o.Sinks = []obs.Sink{jsonl}
+			o.Sinks = append(o.Sinks, jsonl)
+		}
+		if *storeDir != "" {
+			if runName == "" {
+				runName = fmt.Sprintf("%s-seed%d", spec.Policy, spec.Seed)
+			}
+			var err error
+			if eventStore, err = store.Open(*storeDir); err != nil {
+				return err
+			}
+			// Re-running the same run name replaces its history, matching
+			// the truncate-on-create semantics of -events.
+			if err := eventStore.Reset(runName); err != nil {
+				return err
+			}
+			w, err := eventStore.Writer(runName, store.WriterOptions{})
+			if err != nil {
+				return err
+			}
+			storeSink = store.NewSink(w)
+			o.Sinks = append(o.Sinks, storeSink)
 		}
 		spec.Observe = o
 	}
@@ -190,8 +219,19 @@ func run() (err error) {
 			err = fmt.Errorf("writing %s: %w", *eventsPath, cerr)
 		}
 	}
+	if storeSink != nil {
+		if cerr := storeSink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("writing store %s: %w", *storeDir, cerr)
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if eventStore != nil {
+		if st, serr := eventStore.Stat(runName); serr == nil {
+			log.Printf("store: run %q: %d events in %d segment(s), %.1f bytes/event",
+				runName, st.Events, st.Segments, st.BytesPerEvent())
+		}
 	}
 	if note := gangsched.ShardClampNote(spec.Shards, h.Result.ShardsUsed); note != "" {
 		log.Print(note)

@@ -10,6 +10,13 @@
 //	curl -s localhost:8080/jobs/j000000
 //	curl -s localhost:8080/metrics
 //	curl -sN localhost:8080/events
+//	curl -s 'localhost:8080/events?run=j000000&from=10m&to=20m&node=2'
+//
+// A run submitted with "events":true has its event history persisted to
+// the binary trace store (-store, default <dir>/store); /events?run= then
+// serves it as a bounded range query against the store's block index,
+// falling back to the result document's embedded events for runs that
+// predate the store.
 //
 // Every accepted job is journaled (fsync'd) before the HTTP response, so
 // kill -9 loses nothing: restart with the same -dir and unfinished work
@@ -44,6 +51,7 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight runs before cancelling them")
 		noSync      = flag.Bool("no-sync", false, "skip per-record fsync (benchmarks only: crashes may lose acknowledged jobs)")
 		seed        = flag.Int64("seed", 0, "retry-jitter seed (0 = default 1)")
+		storeDir    = flag.String("store", "", "binary trace store directory for event-capturing runs (default <dir>/store)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -60,6 +68,7 @@ func main() {
 		CheckpointEvery: *ckEvery,
 		NoSync:          *noSync,
 		Seed:            *seed,
+		StoreDir:        *storeDir,
 		Logf:            log.Printf,
 	})
 	if err != nil {

@@ -9,10 +9,16 @@
 //	          [-node 0] [-format csv|ascii] [-seed 1]
 //
 // With -replay, it instead rebuilds the paging-activity trace from a
-// structured event stream previously captured with gangsim -events,
-// without re-running any simulation:
+// structured event stream previously captured with gangsim, without
+// re-running any simulation. The input format is auto-detected: a
+// directory is an indexed binary trace store (gangsim -store; pick the
+// run with -run when the store holds several), a file starting with the
+// segment magic is a single binary segment, and anything else is a JSONL
+// log (gangsim -events). Every path streams — replaying a store serves a
+// bounded range query off the block index, never the full event set:
 //
 //	pagetrace -replay run.jsonl [-node 0] [-bin 1s] [-format csv|ascii]
+//	pagetrace -replay traces/ [-run so/ao/ai/bg-seed1] [-node 0]
 package main
 
 import (
@@ -20,15 +26,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expt"
-	"repro/internal/mem"
-	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/internal/store"
 )
 
 func main() {
@@ -39,12 +44,13 @@ func main() {
 	node := flag.Int("node", 0, "which machine's trace to print (0-3)")
 	format := flag.String("format", "csv", "output format: csv or ascii")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	replay := flag.String("replay", "", "rebuild the trace from a gangsim -events JSONL file instead of simulating")
+	replay := flag.String("replay", "", "rebuild the trace from a captured event stream (JSONL file, binary segment or store directory) instead of simulating")
+	run := flag.String("run", "", "run name inside a -replay store directory (default: the store's only run)")
 	bin := flag.Duration("bin", time.Second, "bin width for -replay")
 	flag.Parse()
 
 	if *replay != "" {
-		if err := replayEvents(*replay, *node, sim.DurationOf(*bin), *format); err != nil {
+		if err := replayEvents(*replay, *run, *node, sim.DurationOf(*bin), *format); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -86,39 +92,59 @@ func main() {
 }
 
 // replayEvents rebuilds a node's paging-activity series from a captured
-// event stream: every DiskTransfer event's pages are spread over its
-// service interval, exactly as the live disk tracer does.
-func replayEvents(path string, node int, bin sim.Duration, format string) error {
-	f, err := os.Open(path)
+// event stream — a JSONL log, a single binary segment or a trace store
+// root, auto-detected. Every path streams through expt.TraceReplayer, so
+// even a 512-node-scale log replays without materializing its event set.
+func replayEvents(path, run string, node int, bin sim.Duration, format string) error {
+	kind, err := store.DetectPath(path)
 	if err != nil {
 		return err
 	}
-	events, err := obs.ReadJSONL(f)
-	cerr := f.Close()
-	if err != nil {
-		return err
-	}
-	if cerr != nil {
-		return fmt.Errorf("closing %s: %w", path, cerr)
-	}
-	rec := trace.NewRecorder(bin)
-	rec.Series(cluster.SeriesPageInKB)
-	rec.Series(cluster.SeriesPageOutKB)
-	n := 0
-	for _, ev := range events {
-		if ev.Kind != obs.KindDiskTransfer || ev.Node != node {
-			continue
+	var rep *expt.TraceReplayer
+	source := path
+	switch kind {
+	case store.FormatStore:
+		st, err := store.Open(path)
+		if err != nil {
+			return err
 		}
-		name := cluster.SeriesPageInKB
-		if ev.Write {
-			name = cluster.SeriesPageOutKB
+		if run == "" {
+			runs, err := st.Runs()
+			if err != nil {
+				return err
+			}
+			switch len(runs) {
+			case 0:
+				return fmt.Errorf("store %s holds no runs", path)
+			case 1:
+				run = runs[0]
+			default:
+				return fmt.Errorf("store %s holds %d runs (%s); pick one with -run",
+					path, len(runs), strings.Join(runs, ", "))
+			}
 		}
-		rec.Series(name).AddSpread(ev.T, ev.Dur, mem.KBFromPages(ev.Pages))
-		n++
+		if rep, err = expt.ReplayTrace(st, run, node, bin); err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s run %q", path, run)
+	case store.FormatSegment:
+		if rep, err = expt.ReplayTraceSegment(path, node, bin); err != nil {
+			return err
+		}
+	default:
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err = expt.ReplayTraceJSONL(f, node, bin)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("closing %s: %w", path, cerr)
+		}
+		if err != nil {
+			return err
+		}
 	}
-	if n == 0 {
-		return fmt.Errorf("no DiskTransfer events for node %d in %s (%d events total)", node, path, len(events))
-	}
+	rec := rep.Recorder()
 	switch format {
 	case "csv":
 		fmt.Print(rec.CSV(cluster.SeriesPageInKB, cluster.SeriesPageOutKB))
@@ -128,6 +154,6 @@ func replayEvents(path string, node int, bin sim.Duration, format string) error 
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}
-	fmt.Printf("# replayed %d transfers for node %d from %s\n", n, node, path)
+	fmt.Printf("# replayed %d transfers for node %d from %s\n", rep.Transfers(), node, source)
 	return nil
 }

@@ -1,0 +1,181 @@
+// Command store inspects and exports the indexed binary trace store that
+// gangsim -store and gangsimd write.
+//
+// Usage:
+//
+//	store runs <dir>
+//	store stat <dir> [<run>]
+//	store dump <dir> <run> [-from 10m] [-to 20m] [-node 2] [-o out.jsonl]
+//
+// runs lists the runs in a store; stat summarises their on-disk footprint
+// (segments, blocks, bytes/event, time range, torn tail bytes left by
+// crashes). dump exports a run — or a (time-window, node) slice of it — as
+// JSONL byte-identical to what gangsim -events would have written, served
+// as a bounded range query off the block index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("store: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "runs":
+		err = cmdRuns(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Fatalf("unknown subcommand %q (want runs, stat or dump)", os.Args[1])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  store runs <dir>
+  store stat <dir> [<run>]
+  store dump <dir> <run> [-from 10m] [-to 20m] [-node 2] [-o out.jsonl]
+`)
+	os.Exit(2)
+}
+
+func open(dir string) (*store.Store, error) {
+	if fi, err := os.Stat(dir); err != nil {
+		return nil, err
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("%s is not a store directory", dir)
+	}
+	return store.Open(dir)
+}
+
+func cmdRuns(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	st, err := open(args[0])
+	if err != nil {
+		return err
+	}
+	runs, err := st.Runs()
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("%s holds no runs", args[0])
+	}
+	for _, run := range runs {
+		rs, err := st.Stat(run)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-40s %10d events %12d bytes  %.1f B/event\n",
+			run, rs.Events, rs.Bytes, rs.BytesPerEvent())
+	}
+	return nil
+}
+
+func cmdStat(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		usage()
+	}
+	st, err := open(args[0])
+	if err != nil {
+		return err
+	}
+	runs := args[1:]
+	if len(runs) == 0 {
+		if runs, err = st.Runs(); err != nil {
+			return err
+		}
+	}
+	for _, run := range runs {
+		rs, err := st.Stat(run)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run %q\n", rs.Run)
+		fmt.Printf("  events   %d\n", rs.Events)
+		fmt.Printf("  segments %d (%d blocks)\n", rs.Segments, rs.Blocks)
+		fmt.Printf("  bytes    %d (%.1f per event)\n", rs.Bytes, rs.BytesPerEvent())
+		fmt.Printf("  window   [%s, %s]\n",
+			time.Duration(rs.MinT)*time.Microsecond, time.Duration(rs.MaxT)*time.Microsecond)
+		if rs.TornBytes > 0 {
+			fmt.Printf("  torn     %d bytes dropped by crash recovery\n", rs.TornBytes)
+		}
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	from := fs.Duration("from", 0, "inclusive lower time bound (simulated time)")
+	to := fs.Duration("to", 0, "exclusive upper time bound (0 = unbounded)")
+	node := fs.Int("node", allNodes, "only events on this node (-1 = cluster scope)")
+	out := fs.String("o", "", "write to this file instead of stdout")
+	if len(args) < 2 {
+		usage()
+	}
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	st, err := open(args[0])
+	if err != nil {
+		return err
+	}
+	q := store.Query{
+		Run:  args[1],
+		From: sim.Time(sim.DurationOf(*from)),
+		To:   sim.Time(sim.DurationOf(*to)),
+	}
+	if *node != allNodes {
+		n := *node
+		q.Node = &n
+	}
+	w := os.Stdout
+	if *out != "" {
+		if w, err = os.Create(*out); err != nil {
+			return err
+		}
+	}
+	jw := obs.NewJSONL(w)
+	if err := st.Scan(q, func(ev obs.Event) error {
+		jw.Emit(ev)
+		return jw.Err()
+	}); err != nil {
+		if *out != "" {
+			w.Close()
+		}
+		return err
+	}
+	if err := jw.Flush(); err != nil {
+		return err
+	}
+	if *out != "" {
+		return w.Close()
+	}
+	return nil
+}
+
+// allNodes is the -node default: outside any plausible node ID (including
+// obs.ClusterScope -1), meaning "no node filter".
+const allNodes = -1 << 30

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -167,27 +168,50 @@ func (s *JSONLSink) Close() error {
 // Err reports the first error the sink hit (nil while healthy).
 func (s *JSONLSink) Err() error { return s.err }
 
-// ReadJSONL parses a JSONL event log produced by JSONLSink. Blank lines
-// are skipped; the first malformed line aborts with an error.
+// StreamJSONL parses a JSONL event log produced by JSONLSink, calling fn
+// for each event in order without materializing the stream. Lines are not
+// length-capped (the sink imposes no cap either); blank and whitespace-only
+// lines (including CRLF artifacts) are skipped. A malformed line aborts
+// with an error — except an unterminated, unparseable final line, which is
+// a torn tail from an interrupted writer and is dropped, mirroring the
+// binary store's recovery discipline. An fn error aborts the scan and is
+// returned as-is.
+func StreamJSONL(r io.Reader, fn func(Event) error) error {
+	br := bufio.NewReader(r)
+	line := 0
+	for {
+		text, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("obs: reading event log: %w", rerr)
+		}
+		line++
+		if trimmed := bytes.TrimSpace(text); len(trimmed) > 0 {
+			var ev Event
+			if err := json.Unmarshal(trimmed, &ev); err != nil {
+				if rerr == io.EOF {
+					return nil // torn final line: drop, keep the prefix
+				}
+				return fmt.Errorf("obs: event log line %d: %w", line, err)
+			}
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+	}
+}
+
+// ReadJSONL parses a JSONL event log produced by JSONLSink into a slice.
+// See StreamJSONL for the parsing rules; prefer it for large logs.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Bytes()
-		if len(text) == 0 {
-			continue
-		}
-		var ev Event
-		if err := json.Unmarshal(text, &ev); err != nil {
-			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
-		}
+	if err := StreamJSONL(r, func(ev Event) error {
 		out = append(out, ev)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: reading event log: %w", err)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadJSONLLongLine regresses the 1 MiB scanner cap ReadJSONL used to
+// have: the sink writes lines of any length, so the reader must accept
+// them too (divergence: a log the sink produced was unreadable).
+func TestReadJSONLLongLine(t *testing.T) {
+	ev := Event{Seq: 1, Kind: KindJobSwitch, Node: ClusterScope,
+		Job: strings.Repeat("x", 2<<20)}
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(ev)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("reading a sink-produced log: %v", err)
+	}
+	if len(got) != 1 || got[0].Job != ev.Job {
+		t.Fatalf("long-line event did not round trip (%d events)", len(got))
+	}
+}
+
+// TestReadJSONLWhitespaceLines: blank lines were skipped but
+// whitespace-only ones (CRLF artifacts, trailing spaces) were not.
+func TestReadJSONLWhitespaceLines(t *testing.T) {
+	log := "{\"seq\":1,\"t\":5,\"kind\":\"JobSwitch\",\"node\":-1}\r\n" +
+		"   \n" +
+		"\t\r\n" +
+		"\n" +
+		"{\"seq\":2,\"t\":9,\"kind\":\"NodeUp\",\"node\":0}\n"
+	got, err := ReadJSONL(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("whitespace-tolerant parse got %d events: %+v", len(got), got)
+	}
+}
+
+// TestReadJSONLTornFinalLine: an unterminated, unparseable last line is an
+// interrupted writer's torn tail — the readable prefix survives instead of
+// the whole log erroring out.
+func TestReadJSONLTornFinalLine(t *testing.T) {
+	log := "{\"seq\":1,\"t\":5,\"kind\":\"JobSwitch\",\"node\":-1}\n" +
+		"{\"seq\":2,\"t\":9,\"kind\":\"NodeU" // torn mid-write
+	got, err := ReadJSONL(strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("torn tail aborted the read: %v", err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("want the 1-event prefix, got %d events", len(got))
+	}
+}
+
+// TestReadJSONLMalformedInteriorLine: corruption in the middle of the log
+// (followed by more data) is damage, not a torn tail, and must error.
+func TestReadJSONLMalformedInteriorLine(t *testing.T) {
+	log := "{\"seq\":1,\"t\":5,\"kind\":\"JobSwitch\",\"node\":-1}\n" +
+		"not json\n" +
+		"{\"seq\":2,\"t\":9,\"kind\":\"NodeUp\",\"node\":0}\n"
+	if _, err := ReadJSONL(strings.NewReader(log)); err == nil {
+		t.Fatal("malformed interior line parsed without error")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the bad line: %v", err)
+	}
+}
+
+// TestStreamJSONLCallbackError: an fn error aborts the stream and surfaces
+// verbatim.
+func TestStreamJSONLCallbackError(t *testing.T) {
+	log := "{\"seq\":1,\"t\":5,\"kind\":\"JobSwitch\",\"node\":-1}\n" +
+		"{\"seq\":2,\"t\":9,\"kind\":\"NodeUp\",\"node\":0}\n"
+	sentinel := errors.New("stop here")
+	n := 0
+	err := StreamJSONL(strings.NewReader(log), func(Event) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not surfaced: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("stream continued past the failing callback (%d calls)", n)
+	}
+}
+
+// TestStreamJSONLUnterminatedValidFinalLine: a final line that parses but
+// lacks its newline is kept — a reader racing a live writer sees the event
+// rather than silently losing it.
+func TestStreamJSONLUnterminatedValidFinalLine(t *testing.T) {
+	log := "{\"seq\":1,\"t\":5,\"kind\":\"JobSwitch\",\"node\":-1}\n" +
+		"{\"seq\":2,\"t\":9,\"kind\":\"NodeUp\",\"node\":0}"
+	got, err := ReadJSONL(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parseable unterminated final line dropped (%d events)", len(got))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	gangsched "repro"
 	"repro/internal/obs"
 	"repro/internal/queue"
+	"repro/internal/store"
 )
 
 // idlePoll bounds how long the dispatcher sleeps when the queue reports
@@ -243,14 +244,19 @@ func (s *Server) reclaimLoop() {
 // deterministic under its seeds), which is what makes re-dispatch after a
 // crash idempotent.
 func RunExec(ctx context.Context, job queue.Job) (json.RawMessage, error) {
-	return runExec(ctx, job, func(string, ...any) {})
+	return runExec(ctx, job, func(string, ...any) {}, nil)
 }
 
-// runExec is RunExec with a sink for operational notes; the server's
+// runExec is RunExec with a sink for operational notes — the server's
 // default executor routes them to its logger, so a submitted spec whose
 // shard request was silently clamped (jittered workload, count above the
-// node count) leaves a visible trace in the service log.
-func runExec(ctx context.Context, job queue.Job, logf func(string, ...any)) (json.RawMessage, error) {
+// node count) leaves a visible trace in the service log — and an optional
+// trace store. With a store, an event-capturing run's history is persisted
+// under the job ID before the verdict lands, so a done job always has
+// complete stored history; the run-is-a-pure-function contract carries
+// over because a re-dispatched attempt resets its history before
+// rewriting it.
+func runExec(ctx context.Context, job queue.Job, logf func(string, ...any), st *store.Store) (json.RawMessage, error) {
 	var p runPayload
 	if err := json.Unmarshal(job.Spec, &p); err != nil {
 		return nil, fmt.Errorf("decoding run payload: %w", err)
@@ -259,10 +265,28 @@ func runExec(ctx context.Context, job queue.Job, logf func(string, ...any)) (jso
 	if err != nil {
 		return nil, err
 	}
+	var sink *store.Sink
 	if p.Events {
 		spec.Observe = &obs.Options{KeepEvents: true}
+		if st != nil {
+			if err := st.Reset(job.ID); err != nil {
+				return nil, fmt.Errorf("resetting stored events: %w", err)
+			}
+			w, err := st.Writer(job.ID, store.WriterOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("opening event store: %w", err)
+			}
+			sink = store.NewSink(w)
+			spec.Observe.Sinks = []obs.Sink{sink}
+		}
 	}
 	h, err := gangsched.RunDetailedContext(ctx, spec)
+	if sink != nil {
+		cerr := sink.Close()
+		if err == nil && cerr != nil {
+			err = fmt.Errorf("storing events: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +32,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Exec runs one leased job to completion and returns its result document.
@@ -41,6 +45,10 @@ type Exec func(ctx context.Context, job queue.Job) (json.RawMessage, error)
 type Config struct {
 	// Dir is the durable state directory (journal + checkpoint). Required.
 	Dir string
+	// StoreDir roots the indexed binary trace store that persists each
+	// event-capturing run's history (default: Dir/store). GET /events with
+	// a run parameter serves bounded range queries against it.
+	StoreDir string
 	// Addr is the listen address (default "127.0.0.1:0").
 	Addr string
 	// Workers bounds concurrent simulation runs (0 = one per CPU).
@@ -68,6 +76,7 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	q      *queue.Queue
+	store  *store.Store
 	pool   *runner.Pool
 	srv    *http.Server
 	ln     net.Listener
@@ -121,15 +130,26 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if s.exec == nil {
 		// The default executor is RunExec with operational notes (e.g. a
-		// silently clamped shard request) routed to the server's logger.
+		// silently clamped shard request) routed to the server's logger,
+		// persisting each event-capturing run's history to the trace store.
 		s.exec = func(ctx context.Context, job queue.Job) (json.RawMessage, error) {
-			return runExec(ctx, job, s.logf)
+			return runExec(ctx, job, s.logf, s.store)
 		}
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
 	s.buildMetrics()
+
+	storeDir := cfg.StoreDir
+	if storeDir == "" {
+		storeDir = filepath.Join(cfg.Dir, "store")
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
 
 	q, stats, err := queue.Open(queue.Options{
 		Dir:               cfg.Dir,
@@ -580,11 +600,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}{"ok", s.isDraining()})
 }
 
-// handleEvents streams queue events as NDJSON: a replay of the recent ring
-// first, then live events until the client disconnects or the server
-// drains. A subscriber that cannot keep up misses events rather than
-// blocking the queue.
+// handleEvents has two modes. Without a run parameter it streams queue
+// events as NDJSON: a replay of the recent ring first, then live events
+// until the client disconnects or the server drains (a subscriber that
+// cannot keep up misses events rather than blocking the queue). With
+// ?run=<jobID> it serves that run's simulation event history as JSONL —
+// a bounded range query against the trace store honouring from=, to=
+// (Go durations of simulated time) and node= (see handleRunEvents).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Has("run") {
+		s.handleRunEvents(w, r)
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -615,6 +642,105 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// parseEventQuery builds the store query from /events?run=&from=&to=&node=.
+// from and to are Go duration strings of simulated time ("10m", "1.5s");
+// from is inclusive, to exclusive (absent = unbounded); node keeps a single
+// node's events (-1 = cluster scope).
+func parseEventQuery(r *http.Request) (store.Query, error) {
+	vals := r.URL.Query()
+	q := store.Query{Run: vals.Get("run")}
+	bound := func(key string) (sim.Time, error) {
+		raw := vals.Get(key)
+		if raw == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q: want a duration like 10m", key, raw)
+		}
+		return sim.Time(sim.DurationOf(d)), nil
+	}
+	var err error
+	if q.From, err = bound("from"); err != nil {
+		return q, err
+	}
+	if q.To, err = bound("to"); err != nil {
+		return q, err
+	}
+	if raw := vals.Get("node"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return q, fmt.Errorf("bad node %q: want an integer", raw)
+		}
+		q.Node = &n
+	}
+	if err := q.Validate(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// handleRunEvents serves one run's simulation event history as JSONL,
+// identical byte-for-byte to what gangsim -events writes for the same
+// spec. The primary tier is the trace store — the range query decodes
+// only the blocks covering the requested window — with the events
+// embedded in the run's result document as the in-memory fallback (runs
+// executed before the store existed, or by a custom executor).
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	q, err := parseEventQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.store != nil && s.store.Has(q.Run) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		jw := obs.NewJSONL(w)
+		if err := s.store.Scan(q, func(ev obs.Event) error {
+			jw.Emit(ev)
+			return jw.Err()
+		}); err != nil {
+			// Headers are out; all we can do is truncate and log.
+			s.logf("events %s: %v", q.Run, err)
+			return
+		}
+		if err := jw.Flush(); err != nil {
+			s.logf("events %s: %v", q.Run, err)
+		}
+		return
+	}
+	job, ok := s.q.Get(q.Run)
+	if !ok {
+		http.Error(w, "no such run", http.StatusNotFound)
+		return
+	}
+	if job.State != queue.StateDone || len(job.Result) == 0 {
+		http.Error(w, "run has not completed", http.StatusNotFound)
+		return
+	}
+	var doc runDoc
+	if err := json.Unmarshal(job.Result, &doc); err != nil || doc.Events == nil {
+		http.Error(w, "run captured no events (submit with \"events\":true)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	jw := obs.NewJSONL(w)
+	for _, ev := range doc.Events {
+		if ev.T < q.From || (q.To > 0 && ev.T >= q.To) {
+			continue
+		}
+		if q.Node != nil && ev.Node != *q.Node {
+			continue
+		}
+		jw.Emit(ev)
+		if jw.Err() != nil {
+			return
+		}
+	}
+	if err := jw.Flush(); err != nil {
+		s.logf("events %s: %v", q.Run, err)
 	}
 }
 

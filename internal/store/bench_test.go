@@ -1,0 +1,117 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// benchN is the event count each store benchmark processes per op: large
+// enough that per-segment fixed costs (header, index, fsync-free close)
+// amortize the way they do in a real run, small enough for -benchtime 2s.
+const benchN = 20_000
+
+// BenchmarkStoreEncode prices writing one run through the store: per-op it
+// encodes benchN synthetic events into segment files, and it reports the
+// two numbers the `make check` compression gate judges — the binary
+// bytes/event actually written and the JSONL bytes/event the same events
+// cost through obs.NewJSONL (their ratio is the ≥5x compression floor).
+func BenchmarkStoreEncode(b *testing.B) {
+	evs := genEvents(benchN, 8)
+	jl := jsonl(b, evs)
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset("bench"); err != nil {
+			b.Fatal(err)
+		}
+		writeRun(b, s, "bench", evs, WriterOptions{})
+	}
+	b.StopTimer()
+	st, err := s.Stat("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(st.Bytes)/float64(len(evs)), "bytes/event")
+	b.ReportMetric(float64(len(jl))/float64(len(evs)), "jsonl-bytes/event")
+	b.ReportMetric(float64(len(jl))/float64(st.Bytes), "xjsonl")
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// BenchmarkStoreDecode prices a full-run scan: per-op it decodes every
+// stored event back out of the segment files.
+func BenchmarkStoreDecode(b *testing.B) {
+	evs := genEvents(benchN, 8)
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	writeRun(b, s, "bench", evs, WriterOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := s.Scan(Query{Run: "bench"}, func(obs.Event) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(evs) {
+			b.Fatalf("decoded %d of %d events", n, len(evs))
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// BenchmarkStoreRangeQuery prices the indexed path: a one-node query over
+// the middle tenth of the run's time window. The index must keep the
+// decoded payload bytes well under the run's footprint — the benchmark
+// reports both the events yielded and the payload bytes actually read, so
+// a pruning regression shows up as read-bytes/op exploding even if ns/op
+// noise hides it.
+func BenchmarkStoreRangeQuery(b *testing.B) {
+	evs := genEvents(benchN, 8)
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Small blocks and segments so the window genuinely prunes.
+	writeRun(b, s, "bench", evs, WriterOptions{BlockEvents: 256, SegmentBytes: 64 << 10})
+	span := evs[len(evs)-1].T - evs[0].T
+	q := Query{
+		Run:  "bench",
+		From: evs[0].T + span*45/100,
+		To:   evs[0].T + span*55/100,
+	}
+	node := 3
+	q.Node = &node
+	b.ReportAllocs()
+	b.ResetTimer()
+	var got int
+	start := s.BytesRead()
+	for i := 0; i < b.N; i++ {
+		got = 0
+		err := s.Scan(q, func(ev obs.Event) error {
+			if ev.Node != node || ev.T < q.From || ev.T >= q.To {
+				b.Fatalf("stray event: node %d t %d", ev.Node, ev.T)
+			}
+			got++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got == 0 {
+		b.Fatal("range query matched no events; widen the window")
+	}
+	b.ReportMetric(float64(got), "events/op")
+	b.ReportMetric(float64(s.BytesRead()-start)/float64(b.N), "read-bytes/op")
+}

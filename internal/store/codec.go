@@ -1,0 +1,443 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Block kinds. Every CRC-framed block payload starts with one of these.
+const (
+	blockStrings byte = 1 // string-table additions, in interning order
+	blockEvents  byte = 2 // delta-encoded event batch
+	blockIndex   byte = 3 // sealed-segment block directory
+)
+
+// Presence-mask bits: one per optional Event payload field, set only when
+// the field is non-zero — the exact set the JSONL encoding's omitempty
+// emits, which is what makes the round trip byte-identical.
+const (
+	maskJob = 1 << iota
+	maskOutJob
+	maskPID
+	maskOutPID
+	maskPages
+	maskScanned
+	maskRanks
+	maskDur
+	maskWrite
+	maskPrio
+	maskFault
+	maskAttempt
+)
+
+// nodeBit maps a node ID onto the per-block node bitmap. Bit 0 is the
+// cluster scope (-1); larger clusters alias modulo 64, which can only make
+// a query read a block it did not need, never skip one it did.
+func nodeBit(node int) uint64 {
+	return 1 << (uint(node+1) % 64)
+}
+
+// blockMeta is one block's entry in the segment index: where its frame
+// starts, how big its payload is, and — for event blocks — enough to
+// decide whether a (node, time-window) query must read it.
+type blockMeta struct {
+	kind     byte
+	off      int64 // file offset of the frame header
+	length   int   // payload length in bytes
+	count    int   // events in the block (event blocks only)
+	firstSeq uint64
+	minT     sim.Time
+	maxT     sim.Time
+	nodeBits uint64
+}
+
+// covers reports whether a query window can intersect the block.
+func (m *blockMeta) covers(from, to sim.Time, node *int) bool {
+	if m.kind != blockEvents {
+		return false
+	}
+	if to > 0 && m.minT >= to {
+		return false
+	}
+	if m.maxT < from {
+		return false
+	}
+	if node != nil && m.nodeBits&nodeBit(*node) == 0 {
+		return false
+	}
+	return true
+}
+
+// eventEncoder accumulates one event block's payload. Deltas reset per
+// block, so any block can be decoded knowing only the string table.
+type eventEncoder struct {
+	buf      []byte
+	count    int
+	prevT    sim.Time
+	prevSeq  uint64
+	prevNode int
+	firstSeq uint64
+	minT     sim.Time
+	maxT     sim.Time
+	nodeBits uint64
+}
+
+func (e *eventEncoder) reset() {
+	e.buf = e.buf[:0]
+	e.count = 0
+	e.prevT, e.prevSeq, e.prevNode = 0, 0, 0
+	e.firstSeq, e.minT, e.maxT, e.nodeBits = 0, 0, 0, 0
+}
+
+// add appends one event. intern returns the string-table ID for a (non-empty)
+// string, registering it if new.
+func (e *eventEncoder) add(ev obs.Event, intern func(string) uint64) {
+	if e.count == 0 {
+		e.firstSeq = ev.Seq
+		e.minT, e.maxT = ev.T, ev.T
+	} else {
+		e.minT = min(e.minT, ev.T)
+		e.maxT = max(e.maxT, ev.T)
+	}
+	e.nodeBits |= nodeBit(ev.Node)
+
+	b := e.buf
+	b = binary.AppendVarint(b, int64(ev.T)-int64(e.prevT))
+	b = binary.AppendVarint(b, int64(ev.Seq)-int64(e.prevSeq))
+	b = append(b, byte(ev.Kind))
+	b = binary.AppendVarint(b, int64(ev.Node)-int64(e.prevNode))
+
+	var mask uint64
+	if ev.Job != "" {
+		mask |= maskJob
+	}
+	if ev.OutJob != "" {
+		mask |= maskOutJob
+	}
+	if ev.PID != 0 {
+		mask |= maskPID
+	}
+	if ev.OutPID != 0 {
+		mask |= maskOutPID
+	}
+	if ev.Pages != 0 {
+		mask |= maskPages
+	}
+	if ev.Scanned != 0 {
+		mask |= maskScanned
+	}
+	if ev.Ranks != 0 {
+		mask |= maskRanks
+	}
+	if ev.Dur != 0 {
+		mask |= maskDur
+	}
+	if ev.Write {
+		mask |= maskWrite
+	}
+	if ev.Prio != "" {
+		mask |= maskPrio
+	}
+	if ev.Fault != "" {
+		mask |= maskFault
+	}
+	if ev.Attempt != 0 {
+		mask |= maskAttempt
+	}
+	b = binary.AppendUvarint(b, mask)
+
+	if mask&maskJob != 0 {
+		b = binary.AppendUvarint(b, intern(ev.Job))
+	}
+	if mask&maskOutJob != 0 {
+		b = binary.AppendUvarint(b, intern(ev.OutJob))
+	}
+	if mask&maskPID != 0 {
+		b = binary.AppendVarint(b, int64(ev.PID))
+	}
+	if mask&maskOutPID != 0 {
+		b = binary.AppendVarint(b, int64(ev.OutPID))
+	}
+	if mask&maskPages != 0 {
+		b = binary.AppendVarint(b, int64(ev.Pages))
+	}
+	if mask&maskScanned != 0 {
+		b = binary.AppendVarint(b, int64(ev.Scanned))
+	}
+	if mask&maskRanks != 0 {
+		b = binary.AppendVarint(b, int64(ev.Ranks))
+	}
+	if mask&maskDur != 0 {
+		b = binary.AppendVarint(b, int64(ev.Dur))
+	}
+	if mask&maskPrio != 0 {
+		b = binary.AppendUvarint(b, intern(ev.Prio))
+	}
+	if mask&maskFault != 0 {
+		b = binary.AppendUvarint(b, intern(ev.Fault))
+	}
+	if mask&maskAttempt != 0 {
+		b = binary.AppendVarint(b, int64(ev.Attempt))
+	}
+
+	e.buf = b
+	e.count++
+	e.prevT, e.prevSeq, e.prevNode = ev.T, ev.Seq, ev.Node
+}
+
+// payload frames the accumulated events as a complete event-block payload:
+// [kind][count][firstSeq][minT][span][nodeBits LE][events...].
+func (e *eventEncoder) payload(dst []byte) []byte {
+	dst = append(dst, blockEvents)
+	dst = binary.AppendUvarint(dst, uint64(e.count))
+	dst = binary.AppendUvarint(dst, e.firstSeq)
+	dst = binary.AppendVarint(dst, int64(e.minT))
+	dst = binary.AppendUvarint(dst, uint64(e.maxT-e.minT))
+	dst = binary.LittleEndian.AppendUint64(dst, e.nodeBits)
+	return append(dst, e.buf...)
+}
+
+// byteReader walks a payload, latching the first structural error.
+type byteReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("store: "+format, args...)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("truncated uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail("truncated byte at offset %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) uint64LE() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.data) {
+		r.fail("truncated uint64 at offset %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *byteReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail("truncated %d-byte field at offset %d", n, r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+// decodeEventsHeader parses an event-block payload header into meta (the
+// positional fields off/length are the caller's). The returned reader is
+// positioned at the first event.
+func decodeEventsHeader(payload []byte) (blockMeta, *byteReader, error) {
+	r := &byteReader{data: payload}
+	if k := r.byte(); k != blockEvents {
+		r.fail("block kind %d is not an event block", k)
+	}
+	m := blockMeta{kind: blockEvents}
+	m.count = int(r.uvarint())
+	m.firstSeq = r.uvarint()
+	m.minT = sim.Time(r.varint())
+	m.maxT = m.minT + sim.Time(r.uvarint())
+	m.nodeBits = r.uint64LE()
+	if r.err == nil && (m.count < 0 || m.count > math.MaxInt32) {
+		r.fail("implausible event count %d", m.count)
+	}
+	return m, r, r.err
+}
+
+// decodeEvents replays one event block through fn. strings is the segment's
+// interned table; fn is called for every event in append order.
+func decodeEvents(payload []byte, strings []string, fn func(obs.Event) error) error {
+	m, r, err := decodeEventsHeader(payload)
+	if err != nil {
+		return err
+	}
+	lookup := func(id uint64) string {
+		if id >= uint64(len(strings)) {
+			r.fail("string id %d beyond table of %d", id, len(strings))
+			return ""
+		}
+		return strings[id]
+	}
+	var prevT, prevSeq, prevNode int64
+	for i := 0; i < m.count; i++ {
+		var ev obs.Event
+		prevT += r.varint()
+		prevSeq += r.varint()
+		ev.T = sim.Time(prevT)
+		ev.Seq = uint64(prevSeq)
+		ev.Kind = obs.Kind(r.byte())
+		prevNode += r.varint()
+		ev.Node = int(prevNode)
+		mask := r.uvarint()
+		if mask&maskJob != 0 {
+			ev.Job = lookup(r.uvarint())
+		}
+		if mask&maskOutJob != 0 {
+			ev.OutJob = lookup(r.uvarint())
+		}
+		if mask&maskPID != 0 {
+			ev.PID = int(r.varint())
+		}
+		if mask&maskOutPID != 0 {
+			ev.OutPID = int(r.varint())
+		}
+		if mask&maskPages != 0 {
+			ev.Pages = int(r.varint())
+		}
+		if mask&maskScanned != 0 {
+			ev.Scanned = int(r.varint())
+		}
+		if mask&maskRanks != 0 {
+			ev.Ranks = int(r.varint())
+		}
+		if mask&maskDur != 0 {
+			ev.Dur = sim.Duration(r.varint())
+		}
+		ev.Write = mask&maskWrite != 0
+		if mask&maskPrio != 0 {
+			ev.Prio = lookup(r.uvarint())
+		}
+		if mask&maskFault != 0 {
+			ev.Fault = lookup(r.uvarint())
+		}
+		if mask&maskAttempt != 0 {
+			ev.Attempt = int(r.varint())
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return r.err
+}
+
+// encodeStrings frames pending string-table additions as a strings block.
+func encodeStrings(dst []byte, added []string) []byte {
+	dst = append(dst, blockStrings)
+	dst = binary.AppendUvarint(dst, uint64(len(added)))
+	for _, s := range added {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// decodeStrings appends a strings block's entries to the table.
+func decodeStrings(payload []byte, table []string) ([]string, error) {
+	r := &byteReader{data: payload}
+	if k := r.byte(); k != blockStrings {
+		r.fail("block kind %d is not a strings block", k)
+	}
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(payload)) {
+		r.fail("implausible string count %d", n)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		table = append(table, string(r.bytes(r.uvarint())))
+	}
+	return table, r.err
+}
+
+// encodeIndex frames the block directory of a sealed segment.
+func encodeIndex(dst []byte, metas []blockMeta) []byte {
+	dst = append(dst, blockIndex)
+	dst = binary.AppendUvarint(dst, uint64(len(metas)))
+	for _, m := range metas {
+		dst = append(dst, m.kind)
+		dst = binary.AppendUvarint(dst, uint64(m.off))
+		dst = binary.AppendUvarint(dst, uint64(m.length))
+		if m.kind != blockEvents {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(m.count))
+		dst = binary.AppendUvarint(dst, m.firstSeq)
+		dst = binary.AppendVarint(dst, int64(m.minT))
+		dst = binary.AppendUvarint(dst, uint64(m.maxT-m.minT))
+		dst = binary.LittleEndian.AppendUint64(dst, m.nodeBits)
+	}
+	return dst
+}
+
+// decodeIndex parses a sealed segment's block directory.
+func decodeIndex(payload []byte) ([]blockMeta, error) {
+	r := &byteReader{data: payload}
+	if k := r.byte(); k != blockIndex {
+		r.fail("block kind %d is not an index block", k)
+	}
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(payload)) {
+		r.fail("implausible index entry count %d", n)
+	}
+	metas := make([]blockMeta, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		m := blockMeta{kind: r.byte()}
+		m.off = int64(r.uvarint())
+		m.length = int(r.uvarint())
+		if m.kind == blockEvents {
+			m.count = int(r.uvarint())
+			m.firstSeq = r.uvarint()
+			m.minT = sim.Time(r.varint())
+			m.maxT = m.minT + sim.Time(r.uvarint())
+			m.nodeBits = r.uint64LE()
+		}
+		metas = append(metas, m)
+	}
+	return metas, r.err
+}

@@ -1,0 +1,40 @@
+// Package store is the simulator's indexed on-disk trace store: a
+// segment-file event log with a compact binary encoding and a sorted-segment
+// index keyed by (run, node, time), so replaying a slice of a
+// thousand-node run is a ranged query over a handful of blocks instead of a
+// full-file JSONL re-parse.
+//
+// Layout. A store is a directory holding one subdirectory per run (the run
+// name path-escaped), each containing numbered segment files:
+//
+//	store/
+//	  run-a/000001.seg
+//	  run-a/000002.seg
+//	  j000017/000001.seg
+//
+// A segment file is an 8-byte header (magic "GSTS" + format version)
+// followed by CRC-framed blocks — the same [length | CRC-32(payload) |
+// payload] frame and torn-tail recovery discipline as internal/queue's
+// journal: a scan stops at the first truncated, oversized or bad-checksum
+// frame and everything past it is discarded, never decoded. A sealed
+// segment additionally carries an index block listing every block's byte
+// range, event count, time bounds and node bitmap, found through a fixed
+// trailer at the end of the file; opening a sealed segment reads only the
+// trailer and index, while an unsealed (crashed) segment falls back to a
+// full CRC-verified scan.
+//
+// Encoding. Events are delta-encoded per block: timestamps, sequence
+// numbers and node IDs as zigzag-varint deltas from the previous event,
+// the kind as one byte, and a varint presence mask selecting which of the
+// payload fields follow. Job names and other strings are interned once per
+// segment in dedicated string-table blocks. The result is 8–12 bytes per
+// event against ~90–130 bytes of JSONL, with an exact round trip: decoding
+// a stored stream and re-marshalling it as JSON reproduces the
+// obs.JSONLSink output byte for byte, which is what `store dump` does.
+//
+// Queries. The in-memory index (trailer-loaded or recovered) lets a
+// (run, node, time-window) query touch only the blocks whose time bounds
+// intersect the window and whose node bitmap can contain the node; the
+// store counts decoded payload bytes (BytesRead) so tests can prove the
+// covering-blocks-only property instead of assuming it.
+package store

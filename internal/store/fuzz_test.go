@@ -1,0 +1,134 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// fuzzEvents deterministically derives an event stream plus writer shape
+// from raw fuzz bytes: each event consumes a handful of bytes, strings are
+// short slices of the input (arbitrary bytes — the JSON marshaller and the
+// intern table must agree on them verbatim), and timestamps may go
+// backwards, which the delta codec must absorb.
+func fuzzEvents(data []byte) ([]obs.Event, WriterOptions) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	str := func() string {
+		n := int(next() % 9)
+		if pos+n > len(data) {
+			n = len(data) - pos
+		}
+		s := string(data[pos : pos+n])
+		pos += n
+		return s
+	}
+	opts := WriterOptions{
+		BlockEvents:  1 + int(next())%257,
+		SegmentBytes: 256 + int64(next())*37,
+	}
+	var evs []obs.Event
+	var t sim.Time
+	var seq uint64
+	for pos < len(data) && len(evs) < 4096 {
+		b := next()
+		t += sim.Time(int8(b)) * sim.Time(1+next()%64) // may decrease
+		if t < 0 {
+			t = -t // sim time is non-negative; keep the backward jumps
+		}
+		seq += uint64(next()%4) + 1
+		ev := obs.Event{
+			Seq:  seq,
+			T:    t,
+			Kind: obs.Kind(1 + next()%12),
+			Node: int(int8(next())),
+		}
+		m := next()
+		if m&1 != 0 {
+			ev.Job = str()
+		}
+		if m&2 != 0 {
+			ev.OutJob = str()
+		}
+		if m&4 != 0 {
+			ev.PID = int(int8(next()))
+		}
+		if m&8 != 0 {
+			ev.Pages = int(next()) << (next() % 17)
+		}
+		if m&16 != 0 {
+			ev.Dur = sim.Duration(next()) << (next() % 33)
+		}
+		if m&32 != 0 {
+			ev.Write = true
+			ev.Prio = str()
+		}
+		if m&64 != 0 {
+			ev.Fault = str()
+			ev.Scanned = int(next())
+		}
+		if m&128 != 0 {
+			ev.Ranks = int(next())
+			ev.OutPID = int(int8(next()))
+			ev.Attempt = int(next())
+		}
+		evs = append(evs, ev)
+	}
+	return evs, opts
+}
+
+// FuzzStoreRoundTrip encodes an arbitrary event stream through the binary
+// store and demands the dump be byte-identical to the JSONL the obs sink
+// would have produced — the same contract the §4.3 golden-equivalence test
+// checks on real runs, under adversarial inputs.
+func FuzzStoreRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 7, 200, 90, 1, 255, 31, 64, 'L', 'U', '-', '1', 9})
+	f.Add(bytes.Repeat([]byte{0x55, 0x00, 0xff, 0x80, 0x21}, 100))
+	f.Add([]byte("gang scheduling with adaptive memory paging"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, opts := fuzzEvents(data)
+		if len(evs) == 0 {
+			return
+		}
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.Writer("fuzz", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if err := w.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var dump bytes.Buffer
+		if err := s.Dump("fuzz", &dump); err != nil {
+			t.Fatal(err)
+		}
+		if want := jsonl(t, evs); !bytes.Equal(dump.Bytes(), want) {
+			t.Fatalf("dump diverged from JSONL golden: %d vs %d bytes", dump.Len(), len(want))
+		}
+		st, err := s.Stat("fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Events != int64(len(evs)) {
+			t.Fatalf("stat counts %d events, want %d", st.Events, len(evs))
+		}
+	})
+}

@@ -1,0 +1,444 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Segment file framing. The header and frame layout deliberately mirror
+// internal/queue's journal: 8-byte header (magic + version), then CRC-framed
+// blocks, recovery stopping at the first bad frame.
+var segmentMagic = [4]byte{'G', 'S', 'T', 'S'}
+var trailerMagic = [4]byte{'G', 'S', 'T', 'X'}
+
+const (
+	segmentVersion   = 1
+	segmentHeaderLen = 8
+	frameHeaderLen   = 8
+	trailerLen       = 12 // u64 LE index frame offset + trailer magic
+	// maxBlockLen bounds a single block payload; a frame claiming more is
+	// corruption, not a giant allocation.
+	maxBlockLen = 16 << 20
+)
+
+// ErrCorrupt reports a structurally invalid segment header — operator-level
+// damage, as opposed to an ordinary torn tail (which recovery absorbs).
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ErrCrashPoint is returned once an injected crash point is reached; the
+// writer refuses all further work, simulating a process killed at an exact
+// block boundary (WriterOptions.CrashAfterBlocks, tests only).
+var ErrCrashPoint = errors.New("store: injected crash point reached")
+
+// segmentWriter appends CRC-framed blocks to one segment file.
+type segmentWriter struct {
+	f     *os.File
+	path  string
+	off   int64 // current end-of-file offset
+	metas []blockMeta
+	// frames counts frames written across the whole run writer's life (it
+	// is shared across segment rolls) — the crash-injection counter.
+	frames *int64
+
+	enc      eventEncoder
+	interned map[string]uint64
+	table    []string // interned strings, table[0] unused sentinel
+	pending  []string // strings awaiting their strings block
+	scratch  []byte
+
+	blockEvents int // flush threshold: events per block
+	blockBytes  int // flush threshold: payload bytes per block
+	failAfter   int64
+	sealed      bool
+}
+
+func createSegment(path string, blockEvents, blockBytes int, frames *int64, failAfter int64) (*segmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [segmentHeaderLen]byte
+	copy(hdr[:4], segmentMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], segmentVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segmentWriter{
+		f:           f,
+		path:        path,
+		off:         segmentHeaderLen,
+		interned:    map[string]uint64{},
+		table:       []string{""},
+		blockEvents: blockEvents,
+		blockBytes:  blockBytes,
+		frames:      frames,
+		failAfter:   failAfter,
+	}, nil
+}
+
+// intern returns s's string-table ID, queueing it for the next strings
+// block when new. ID 0 is a sentinel for "absent", never referenced.
+func (w *segmentWriter) intern(s string) uint64 {
+	if id, ok := w.interned[s]; ok {
+		return id
+	}
+	id := uint64(len(w.table))
+	w.interned[s] = id
+	w.table = append(w.table, s)
+	w.pending = append(w.pending, s)
+	return id
+}
+
+func (w *segmentWriter) append(ev obs.Event) error {
+	if w.sealed {
+		return errors.New("store: append to sealed segment")
+	}
+	w.enc.add(ev, w.intern)
+	if w.enc.count >= w.blockEvents || len(w.enc.buf) >= w.blockBytes {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock writes the pending strings block (if any) followed by the
+// accumulated event block. Each block is one CRC frame written with a
+// single Write call, keeping the torn-tail window minimal.
+func (w *segmentWriter) flushBlock() error {
+	if w.enc.count == 0 {
+		return nil
+	}
+	if len(w.pending) > 0 {
+		payload := encodeStrings(w.scratch[:0], w.pending)
+		if err := w.writeFrame(payload, blockMeta{kind: blockStrings}); err != nil {
+			return err
+		}
+		w.pending = w.pending[:0]
+	}
+	meta := blockMeta{
+		kind:     blockEvents,
+		count:    w.enc.count,
+		firstSeq: w.enc.firstSeq,
+		minT:     w.enc.minT,
+		maxT:     w.enc.maxT,
+		nodeBits: w.enc.nodeBits,
+	}
+	payload := w.enc.payload(w.scratch[:0])
+	if err := w.writeFrame(payload, meta); err != nil {
+		return err
+	}
+	w.enc.reset()
+	return nil
+}
+
+func (w *segmentWriter) writeFrame(payload []byte, meta blockMeta) error {
+	if w.failAfter > 0 && *w.frames >= w.failAfter {
+		return ErrCrashPoint
+	}
+	if len(payload) > maxBlockLen {
+		return fmt.Errorf("store: %d byte block exceeds the %d byte cap", len(payload), maxBlockLen)
+	}
+	frame := make([]byte, 0, frameHeaderLen+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	meta.off = w.off
+	meta.length = len(payload)
+	w.metas = append(w.metas, meta)
+	w.off += int64(len(frame))
+	*w.frames++
+	w.scratch = payload[:0]
+	return nil
+}
+
+// seal flushes the tail block, writes the index frame and trailer, and
+// fsyncs. A sealed segment opens by reading the trailer and index alone.
+func (w *segmentWriter) seal() error {
+	if w.sealed {
+		return nil
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	indexOff := w.off
+	payload := encodeIndex(w.scratch[:0], w.metas)
+	if err := w.writeFrame(payload, blockMeta{kind: blockIndex}); err != nil {
+		return err
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[:8], uint64(indexOff))
+	copy(tr[8:], trailerMagic[:])
+	if _, err := w.f.Write(tr[:]); err != nil {
+		return err
+	}
+	w.off += trailerLen
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.sealed = true
+	return nil
+}
+
+func (w *segmentWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.seal()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// abort closes the file without sealing (crash injection and error paths):
+// the segment is left exactly as a killed process would leave it.
+func (w *segmentWriter) abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// segment is the read-side view of one segment file: its event-block
+// directory and interned string table, with no retained file handle. Event
+// payloads are read lazily, block by block, per query.
+type segment struct {
+	path   string
+	metas  []blockMeta // event blocks only, in append order
+	table  []string
+	events int
+	bytes  int64 // file size
+	minT   sim.Time
+	maxT   sim.Time
+	// sealed records whether the directory came from a trusted index
+	// trailer (true) or a recovery scan of an unsealed file (false).
+	sealed bool
+	// droppedBytes counts file bytes past the last valid frame of an
+	// unsealed segment — a torn tail recovery discarded, never decoded.
+	droppedBytes int64
+}
+
+// openSegment loads a segment's directory. A sealed segment costs the
+// trailer plus the index and strings frames; an unsealed one is fully
+// scanned with per-frame CRC verification, stopping at the first bad frame
+// (the queue-journal recovery discipline — a bad-CRC block and everything
+// after it are dropped, never resurrected).
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	var hdr [segmentHeaderLen]byte
+	if size < segmentHeaderLen {
+		return nil, fmt.Errorf("%w: %s: %d byte file is shorter than the %d byte header",
+			ErrCorrupt, path, size, segmentHeaderLen)
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != segmentMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segmentVersion {
+		return nil, fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, path, v)
+	}
+	s := &segment{path: path, bytes: size}
+	if metas, ok := sealedIndex(f, size); ok {
+		s.sealed = true
+		if err := s.load(f, metas); err == nil {
+			return s, nil
+		}
+		// A trailer that points at garbage is treated like an unsealed
+		// file: fall back to the scan, which trusts only CRCs.
+		*s = segment{path: path, bytes: size}
+	}
+	metas, dropped := scanFrames(f, size)
+	s.droppedBytes = dropped
+	if err := s.load(f, metas); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sealedIndex reads the trailer and index frame of a sealed segment.
+func sealedIndex(f *os.File, size int64) ([]blockMeta, bool) {
+	if size < segmentHeaderLen+trailerLen {
+		return nil, false
+	}
+	var tr [trailerLen]byte
+	if _, err := f.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, false
+	}
+	if [4]byte(tr[8:12]) != trailerMagic {
+		return nil, false
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(tr[:8]))
+	if indexOff < segmentHeaderLen || indexOff > size-trailerLen-frameHeaderLen {
+		return nil, false
+	}
+	payload, ok := frameAt(f, indexOff, size)
+	if !ok {
+		return nil, false
+	}
+	metas, err := decodeIndex(payload)
+	if err != nil {
+		return nil, false
+	}
+	return metas, true
+}
+
+// frameAt CRC-verifies and returns the payload of the frame at off.
+func frameAt(f *os.File, off, size int64) ([]byte, bool) {
+	if off < 0 || off+frameHeaderLen > size {
+		return nil, false
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, false
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[:4]))
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxBlockLen || off+frameHeaderLen+n > size {
+		return nil, false
+	}
+	payload := make([]byte, n)
+	if _, err := f.ReadAt(payload, off+frameHeaderLen); err != nil {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// scanFrames walks frames from the header, CRC-verifying each, and returns
+// the directory of every valid block. The scan stops at the first
+// truncated, oversized or checksum-failing frame; the remainder is
+// reported as dropped bytes.
+func scanFrames(f *os.File, size int64) (metas []blockMeta, droppedBytes int64) {
+	off := int64(segmentHeaderLen)
+	for off < size {
+		// A well-formed sealed file ends its scan at the trailer.
+		if size-off == trailerLen {
+			var tr [trailerLen]byte
+			if _, err := f.ReadAt(tr[:], off); err == nil && [4]byte(tr[8:12]) == trailerMagic {
+				return metas, 0
+			}
+		}
+		payload, ok := frameAt(f, off, size)
+		if !ok {
+			return metas, size - off
+		}
+		m := blockMeta{off: off, length: len(payload)}
+		if len(payload) > 0 {
+			m.kind = payload[0]
+		}
+		if m.kind == blockEvents {
+			hm, _, err := decodeEventsHeader(payload)
+			if err != nil {
+				// Structurally broken despite a good CRC: treat as the
+				// first bad frame, drop it and everything after.
+				return metas, size - off
+			}
+			hm.off, hm.length = m.off, m.length
+			m = hm
+		}
+		metas = append(metas, m)
+		off += frameHeaderLen + int64(len(payload))
+	}
+	return metas, 0
+}
+
+// load materialises the string table and event-block directory from a
+// trusted block list, reading only strings frames.
+func (s *segment) load(f *os.File, metas []blockMeta) error {
+	s.table = []string{""}
+	s.metas = s.metas[:0]
+	s.events = 0
+	first := true
+	for _, m := range metas {
+		switch m.kind {
+		case blockStrings:
+			payload, ok := frameAt(f, m.off, s.bytes)
+			if !ok {
+				return fmt.Errorf("%w: %s: indexed strings block at %d unreadable", ErrCorrupt, s.path, m.off)
+			}
+			var err error
+			if s.table, err = decodeStrings(payload, s.table); err != nil {
+				return err
+			}
+		case blockEvents:
+			s.metas = append(s.metas, m)
+			s.events += m.count
+			if first {
+				s.minT, s.maxT = m.minT, m.maxT
+				first = false
+			} else {
+				s.minT = min(s.minT, m.minT)
+				s.maxT = max(s.maxT, m.maxT)
+			}
+		}
+	}
+	return nil
+}
+
+// scan replays the segment's events matching the query through fn, reading
+// only the blocks whose index entry covers the window. Every decoded event
+// payload byte is added to bytesRead (the covering-blocks accounting tests
+// assert on). An fn error aborts the scan and is returned as-is.
+func (s *segment) scan(from, to sim.Time, node *int, bytesRead *int64, fn func(obs.Event) error) error {
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	for i := range s.metas {
+		m := &s.metas[i]
+		if !m.covers(from, to, node) {
+			continue
+		}
+		if f == nil {
+			var err error
+			if f, err = os.Open(s.path); err != nil {
+				return err
+			}
+		}
+		payload, ok := frameAt(f, m.off, s.bytes)
+		if !ok {
+			return fmt.Errorf("%w: %s: indexed event block at %d unreadable", ErrCorrupt, s.path, m.off)
+		}
+		if bytesRead != nil {
+			*bytesRead += int64(len(payload))
+		}
+		err := decodeEvents(payload, s.table, func(ev obs.Event) error {
+			if ev.T < from || (to > 0 && ev.T >= to) {
+				return nil
+			}
+			if node != nil && ev.Node != *node {
+				return nil
+			}
+			return fn(ev)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

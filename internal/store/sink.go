@@ -1,0 +1,34 @@
+package store
+
+import (
+	"repro/internal/obs"
+)
+
+// Sink adapts a run Writer to the obs.Sink interface, so a simulation can
+// stream its events straight into the store alongside (or instead of) the
+// JSONL sink. Like obs.JSONLSink, the first error is latched and surfaced
+// by Close — the bus has no error channel, so Emit cannot fail loudly.
+type Sink struct {
+	w *Writer
+}
+
+// NewSink wraps a run writer. The caller owns the writer's lifetime only
+// through the sink: Close seals it.
+func NewSink(w *Writer) *Sink { return &Sink{w: w} }
+
+// Emit appends ev to the run, dropping events after the first error.
+func (s *Sink) Emit(ev obs.Event) {
+	if s.w.Err() != nil {
+		return
+	}
+	s.w.Append(ev) // error latches inside the writer
+}
+
+// Err reports the first error the underlying writer hit.
+func (s *Sink) Err() error { return s.w.Err() }
+
+// Events reports how many events reached the store.
+func (s *Sink) Events() int64 { return s.w.Events() }
+
+// Close seals the run's final segment and returns the first error.
+func (s *Sink) Close() error { return s.w.Close() }

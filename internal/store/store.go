@@ -1,0 +1,474 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+const (
+	// DefaultBlockEvents bounds events per block; DefaultBlockBytes bounds
+	// the encoded payload. Whichever trips first flushes the block — the
+	// granularity at which a range query can skip data.
+	DefaultBlockEvents = 4096
+	DefaultBlockBytes  = 32 << 10
+	// DefaultSegmentBytes rolls the writer to a fresh segment file once the
+	// current one grows past it.
+	DefaultSegmentBytes = 8 << 20
+
+	segmentSuffix = ".seg"
+)
+
+// Store is a directory of per-run segment files. The zero value is not
+// usable; call Open. A Store is safe for concurrent use: writers for
+// different runs are independent, and queries open files on demand.
+type Store struct {
+	dir string
+	// bytesRead accumulates event-block payload bytes decoded by queries —
+	// the accounting the covering-blocks-only tests assert on.
+	bytesRead atomic.Int64
+}
+
+// Open ensures dir exists and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// BytesRead reports the cumulative event-block payload bytes queries have
+// decoded since Open — proof material for "a range query reads only the
+// covering blocks", measured rather than assumed.
+func (s *Store) BytesRead() int64 { return s.bytesRead.Load() }
+
+// runDir maps a run name to its directory, path-escaping anything a job ID
+// or user-chosen run name could contain.
+func (s *Store) runDir(run string) string {
+	return filepath.Join(s.dir, url.PathEscape(run))
+}
+
+// Runs lists the runs present in the store, sorted by name.
+func (s *Store) Runs() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var runs []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // not a run directory the store created
+		}
+		runs = append(runs, name)
+	}
+	sort.Strings(runs)
+	return runs, nil
+}
+
+// Has reports whether the store holds at least one segment for run.
+func (s *Store) Has(run string) bool {
+	segs, err := runSegmentPaths(s.runDir(run))
+	return err == nil && len(segs) > 0
+}
+
+// Reset removes every segment of run — the idempotent-re-dispatch hook: a
+// re-run job truncates its history before writing it again.
+func (s *Store) Reset(run string) error {
+	err := os.RemoveAll(s.runDir(run))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// runSegmentPaths lists a run directory's segment files in numeric order.
+func runSegmentPaths(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentSuffix) {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths) // zero-padded numbering makes this numeric order
+	return paths, nil
+}
+
+// WriterOptions tune a run writer. The zero value uses the defaults.
+type WriterOptions struct {
+	// BlockEvents / BlockBytes set the block flush thresholds.
+	BlockEvents int
+	BlockBytes  int
+	// SegmentBytes sets the segment roll size.
+	SegmentBytes int64
+	// CrashAfterBlocks, when positive, makes the writer fail with
+	// ErrCrashPoint once that many blocks have been framed — the
+	// kill-at-every-block-boundary hook TestStoreCrashRecovery sweeps.
+	CrashAfterBlocks int64
+}
+
+func (o *WriterOptions) fill() {
+	if o.BlockEvents <= 0 {
+		o.BlockEvents = DefaultBlockEvents
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = DefaultBlockBytes
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+}
+
+// Writer appends one run's event stream to the store. It is not safe for
+// concurrent use; one run has one writer. Close seals the final segment
+// (writing its index); a writer that dies without Close leaves an unsealed
+// segment that recovery reads back up to its last intact block.
+type Writer struct {
+	store  *Store
+	run    string
+	dir    string
+	opts   WriterOptions
+	seg    *segmentWriter
+	segNo  int
+	count  int64
+	frames int64 // lifetime frame count, shared with every segmentWriter
+	err    error
+}
+
+// Writer opens an appending writer for run, creating its directory on
+// first use. Appends always start a fresh segment file — an unsealed tail
+// left by a crash keeps its readable prefix and is never extended (a
+// bad-CRC block must stay dead).
+func (s *Store) Writer(run string, opts WriterOptions) (*Writer, error) {
+	if run == "" {
+		return nil, errors.New("store: empty run name")
+	}
+	opts.fill()
+	dir := s.runDir(run)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := runSegmentPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	last := 0
+	if len(segs) > 0 {
+		base := filepath.Base(segs[len(segs)-1])
+		fmt.Sscanf(base, "%06d", &last)
+	}
+	return &Writer{store: s, run: run, dir: dir, opts: opts, segNo: last}, nil
+}
+
+// Run reports the run this writer appends to.
+func (w *Writer) Run() string { return w.run }
+
+// Events reports how many events have been appended.
+func (w *Writer) Events() int64 { return w.count }
+
+// Err reports the first error the writer hit (nil while healthy).
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) roll() error {
+	if w.seg != nil {
+		if err := w.seg.close(); err != nil {
+			return err
+		}
+		w.seg = nil
+	}
+	w.segNo++
+	path := filepath.Join(w.dir, fmt.Sprintf("%06d%s", w.segNo, segmentSuffix))
+	seg, err := createSegment(path, w.opts.BlockEvents, w.opts.BlockBytes, &w.frames, w.opts.CrashAfterBlocks)
+	if err != nil {
+		return err
+	}
+	w.seg = seg
+	return nil
+}
+
+// Append encodes one event. Errors latch: after the first failure (or the
+// injected crash point) every further Append returns the same error.
+func (w *Writer) Append(ev obs.Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.seg == nil {
+		if w.err = w.roll(); w.err != nil {
+			return w.err
+		}
+	}
+	if w.err = w.seg.append(ev); w.err != nil {
+		if errors.Is(w.err, ErrCrashPoint) {
+			w.seg.abort() // leave the torn file exactly as a kill would
+		}
+		return w.err
+	}
+	w.count++
+	if w.seg.off >= w.opts.SegmentBytes {
+		w.err = w.roll()
+	}
+	return w.err
+}
+
+// Close flushes and seals the current segment. Safe to call after an
+// error; the latched error is returned.
+func (w *Writer) Close() error {
+	if w.seg != nil {
+		err := w.seg.close()
+		w.seg = nil
+		if w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
+
+// Query selects a slice of one run's event history (or, with Run empty,
+// of every run).
+type Query struct {
+	// Run selects the run; empty means all runs (cross-run scan, runs in
+	// sorted name order).
+	Run string
+	// Node, when non-nil, keeps only events on that node (obs.ClusterScope
+	// = -1 selects cluster-scoped events).
+	Node *int
+	// From is the inclusive lower time bound.
+	From sim.Time
+	// To is the exclusive upper time bound; 0 means unbounded.
+	To sim.Time
+}
+
+// Validate rejects malformed windows.
+func (q Query) Validate() error {
+	if q.From < 0 {
+		return fmt.Errorf("store: negative query From %d", q.From)
+	}
+	if q.To < 0 {
+		return fmt.Errorf("store: negative query To %d", q.To)
+	}
+	if q.To > 0 && q.To <= q.From {
+		return fmt.Errorf("store: empty query window [%d, %d)", q.From, q.To)
+	}
+	return nil
+}
+
+// ErrNoRun reports a query against a run the store does not hold.
+var ErrNoRun = errors.New("store: no such run")
+
+// openRun loads the directory of every segment of run.
+func (s *Store) openRun(run string) ([]*segment, error) {
+	segs, err := runSegmentPaths(s.runDir(run))
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoRun, run)
+	}
+	out := make([]*segment, 0, len(segs))
+	for _, p := range segs {
+		seg, err := openSegment(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seg)
+	}
+	return out, nil
+}
+
+// Scan streams the events matching q through fn in stored (emission)
+// order, reading only covering blocks. With q.Run empty every run is
+// scanned, in sorted run-name order.
+func (s *Store) Scan(q Query, fn func(obs.Event) error) error {
+	return s.ScanRuns(q, func(_ string, ev obs.Event) error { return fn(ev) })
+}
+
+// ScanRuns is Scan with the owning run name passed through — the cross-run
+// query shape.
+func (s *Store) ScanRuns(q Query, fn func(run string, ev obs.Event) error) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	runs := []string{q.Run}
+	if q.Run == "" {
+		var err error
+		if runs, err = s.Runs(); err != nil {
+			return err
+		}
+	}
+	for _, run := range runs {
+		segs, err := s.openRun(run)
+		if err != nil {
+			return err
+		}
+		var read int64
+		for _, seg := range segs {
+			if err := seg.scan(q.From, q.To, q.Node, &read, func(ev obs.Event) error {
+				return fn(run, ev)
+			}); err != nil {
+				s.bytesRead.Add(read)
+				return err
+			}
+		}
+		s.bytesRead.Add(read)
+	}
+	return nil
+}
+
+// Events materialises the matching events. Prefer Scan for large windows.
+func (s *Store) Events(q Query) ([]obs.Event, error) {
+	var out []obs.Event
+	err := s.Scan(q, func(ev obs.Event) error {
+		out = append(out, ev)
+		return nil
+	})
+	return out, err
+}
+
+// Dump writes run's complete event history to w as JSONL, byte-identical
+// to what an obs.JSONLSink attached to the original run produced — the
+// export/compat path (`store dump`).
+func (s *Store) Dump(run string, w io.Writer) error {
+	return s.DumpQuery(Query{Run: run}, w)
+}
+
+// DumpQuery writes the events matching q to w as JSONL.
+func (s *Store) DumpQuery(q Query, w io.Writer) error {
+	if q.Run == "" {
+		return errors.New("store: dump needs a run")
+	}
+	jw := obs.NewJSONL(w)
+	if err := s.Scan(q, func(ev obs.Event) error {
+		jw.Emit(ev)
+		return jw.Err()
+	}); err != nil {
+		return err
+	}
+	return jw.Flush()
+}
+
+// RunStat summarises one run's on-disk footprint.
+type RunStat struct {
+	Run      string
+	Segments int
+	Blocks   int
+	Events   int64
+	Bytes    int64 // total segment file bytes, indexes and framing included
+	// TornBytes counts recovery-discarded tail bytes across unsealed
+	// segments (non-zero only after a crash).
+	TornBytes int64
+	MinT      sim.Time
+	MaxT      sim.Time
+}
+
+// BytesPerEvent reports the run's storage density.
+func (st RunStat) BytesPerEvent() float64 {
+	if st.Events == 0 {
+		return 0
+	}
+	return float64(st.Bytes) / float64(st.Events)
+}
+
+// ScanSegmentFile replays the events of a single loose segment file
+// matching q (q.Run is ignored) through fn — for tooling handed one .seg
+// rather than a store root.
+func ScanSegmentFile(path string, q Query, fn func(obs.Event) error) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	seg, err := openSegment(path)
+	if err != nil {
+		return err
+	}
+	return seg.scan(q.From, q.To, q.Node, nil, fn)
+}
+
+// Format classifies a replay input path (DetectPath).
+type Format int
+
+const (
+	// FormatJSONL is the fallback: a file that is neither a store root nor
+	// a binary segment is assumed to be a JSONL event log.
+	FormatJSONL Format = iota
+	// FormatStore is a store root directory.
+	FormatStore
+	// FormatSegment is a single binary segment file (GSTS magic).
+	FormatSegment
+)
+
+// DetectPath classifies path for replay tooling: a directory is a store
+// root, a file starting with the segment magic is a single segment, and
+// anything else is assumed JSONL.
+func DetectPath(path string) (Format, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return FormatJSONL, err
+	}
+	if fi.IsDir() {
+		return FormatStore, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatJSONL, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return FormatJSONL, nil // too short to be a segment; let JSONL try
+	}
+	if magic == segmentMagic {
+		return FormatSegment, nil
+	}
+	return FormatJSONL, nil
+}
+
+// Stat summarises run without decoding any event payloads.
+func (s *Store) Stat(run string) (RunStat, error) {
+	segs, err := s.openRun(run)
+	if err != nil {
+		return RunStat{}, err
+	}
+	st := RunStat{Run: run, Segments: len(segs)}
+	first := true
+	for _, seg := range segs {
+		st.Blocks += len(seg.metas)
+		st.Events += int64(seg.events)
+		st.Bytes += seg.bytes
+		st.TornBytes += seg.droppedBytes
+		if seg.events == 0 {
+			continue
+		}
+		if first {
+			st.MinT, st.MaxT = seg.minT, seg.maxT
+			first = false
+		} else {
+			st.MinT = min(st.MinT, seg.minT)
+			st.MaxT = max(st.MaxT, seg.maxT)
+		}
+	}
+	return st, nil
+}

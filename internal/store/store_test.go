@@ -1,0 +1,582 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// genEvents builds a deterministic synthetic stream shaped like a real
+// policy run: non-decreasing timestamps, consecutive bus sequence numbers,
+// nodes interleaving, the full field variety (job names, durations, flags,
+// fault strings) so every mask bit and the string table get exercised.
+func genEvents(n, nodes int) []obs.Event {
+	evs := make([]obs.Event, 0, n)
+	t := sim.Time(0)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(mod uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % mod
+	}
+	jobs := []string{"LU-1", "LU-2", "SP-1"}
+	for i := 0; i < n; i++ {
+		t += sim.Time(next(5000))
+		ev := obs.Event{
+			Seq:  uint64(i + 1),
+			T:    t,
+			Node: int(next(uint64(nodes))),
+		}
+		switch next(6) {
+		case 0:
+			ev.Kind = obs.KindJobSwitch
+			ev.Node = obs.ClusterScope
+			ev.Job = jobs[next(uint64(len(jobs)))]
+			ev.OutJob = jobs[next(uint64(len(jobs)))]
+			ev.PID = int(next(8)) + 1
+			ev.OutPID = int(next(8)) + 1
+		case 1:
+			ev.Kind = obs.KindDiskTransfer
+			ev.Pages = int(next(256)) + 1
+			ev.Dur = sim.Duration(next(100000))
+			ev.Write = next(2) == 0
+			ev.Prio = []string{"fg", "bg"}[next(2)]
+		case 2:
+			ev.Kind = obs.KindReclaimScan
+			ev.Scanned = int(next(4096))
+			ev.Pages = int(next(256))
+		case 3:
+			ev.Kind = obs.KindBarrierStall
+			ev.Node = obs.ClusterScope
+			ev.Job = jobs[next(uint64(len(jobs)))]
+			ev.Ranks = nodes
+			ev.Dur = sim.Duration(next(1000000))
+		case 4:
+			ev.Kind = obs.KindFaultInjected
+			ev.Fault = []string{"diskerr", "crash", "straggler"}[next(3)]
+			ev.Dur = sim.Duration(next(100))
+		default:
+			ev.Kind = obs.KindPageOutBatch
+			ev.PID = int(next(8)) + 1
+			ev.Pages = int(next(512)) + 1
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func jsonl(t testing.TB, evs []obs.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func writeRun(t testing.TB, s *Store, run string, evs []obs.Event, opts WriterOptions) {
+	t.Helper()
+	w, err := s.Writer(run, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := w.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(5000, 8)
+	// Small blocks force many frames and interleaved string blocks.
+	writeRun(t, s, "run", evs, WriterOptions{BlockEvents: 97})
+	got, err := s.Events(Query{Run: "run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip diverged: %d events in, %d out", len(evs), len(got))
+	}
+	var dump bytes.Buffer
+	if err := s.Dump("run", &dump); err != nil {
+		t.Fatal(err)
+	}
+	if want := jsonl(t, evs); !bytes.Equal(dump.Bytes(), want) {
+		t.Fatalf("dump is not byte-identical to JSONL: %d vs %d bytes", dump.Len(), len(want))
+	}
+}
+
+func TestMultiSegmentRoll(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(20000, 16)
+	writeRun(t, s, "big", evs, WriterOptions{BlockEvents: 256, SegmentBytes: 16 << 10})
+	st, err := s.Stat("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("expected a segment roll, got %d segment(s)", st.Segments)
+	}
+	if st.Events != int64(len(evs)) {
+		t.Fatalf("stat counts %d events, want %d", st.Events, len(evs))
+	}
+	got, err := s.Events(Query{Run: "big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("multi-segment round trip diverged: %d in, %d out", len(evs), len(got))
+	}
+}
+
+func TestCompression(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(20000, 8)
+	writeRun(t, s, "run", evs, WriterOptions{})
+	st, err := s.Stat("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := len(jsonl(t, evs))
+	ratio := float64(jl) / float64(st.Bytes)
+	t.Logf("binary %.1f B/event vs JSONL %.1f B/event (%.1fx)",
+		st.BytesPerEvent(), float64(jl)/float64(len(evs)), ratio)
+	if ratio < 5 {
+		t.Fatalf("binary encoding only %.1fx smaller than JSONL, want >=5x", ratio)
+	}
+}
+
+// expectedQueryBytes sums the payload bytes of exactly the blocks whose
+// index entry covers the query — what a covering-blocks-only scan must
+// read, computed independently from the segment directories.
+func expectedQueryBytes(t *testing.T, s *Store, run string, from, to sim.Time, node *int) int64 {
+	t.Helper()
+	segs, err := s.openRun(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, seg := range segs {
+		for i := range seg.metas {
+			if seg.metas[i].covers(from, to, node) {
+				want += int64(seg.metas[i].length)
+			}
+		}
+	}
+	return want
+}
+
+func TestRangeQueryReadsOnlyCoveringBlocks(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(20000, 8)
+	writeRun(t, s, "run", evs, WriterOptions{BlockEvents: 128, SegmentBytes: 32 << 10})
+
+	span := evs[len(evs)-1].T - evs[0].T
+	from := evs[0].T + span/3
+	to := evs[0].T + span/2
+
+	var want []obs.Event
+	for _, ev := range evs {
+		if ev.T >= from && ev.T < to {
+			want = append(want, ev)
+		}
+	}
+	before := s.BytesRead()
+	got, err := s.Events(Query{Run: "run", From: from, To: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := s.BytesRead() - before
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("range query returned %d events, want %d", len(got), len(want))
+	}
+	wantBytes := expectedQueryBytes(t, s, "run", from, to, nil)
+	if read != wantBytes {
+		t.Fatalf("range query read %d payload bytes, covering blocks hold %d", read, wantBytes)
+	}
+	full := expectedQueryBytes(t, s, "run", 0, 0, nil)
+	if read >= full/2 {
+		t.Fatalf("range query read %d of %d total payload bytes; window covers ~1/6 of the run", read, full)
+	}
+}
+
+func TestNodeFilterPrunesBlocks(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A node that appears only early in the run: later blocks must be
+	// skipped on the bitmap alone even though the time window is open.
+	var evs []obs.Event
+	for i := 0; i < 6000; i++ {
+		node := i % 7
+		if i > 600 {
+			node = 1 + i%6 // node 0 disappears after the first 600 events
+		}
+		evs = append(evs, obs.Event{
+			Seq: uint64(i + 1), T: sim.Time(i * 100), Kind: obs.KindPageOutBatch,
+			Node: node, PID: 1, Pages: 1 + i%32,
+		})
+	}
+	writeRun(t, s, "run", evs, WriterOptions{BlockEvents: 200})
+
+	node := 0
+	var want []obs.Event
+	for _, ev := range evs {
+		if ev.Node == node {
+			want = append(want, ev)
+		}
+	}
+	before := s.BytesRead()
+	got, err := s.Events(Query{Run: "run", Node: &node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := s.BytesRead() - before
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("node query returned %d events, want %d", len(got), len(want))
+	}
+	wantBytes := expectedQueryBytes(t, s, "run", 0, 0, &node)
+	if read != wantBytes {
+		t.Fatalf("node query read %d payload bytes, covering blocks hold %d", read, wantBytes)
+	}
+	full := expectedQueryBytes(t, s, "run", 0, 0, nil)
+	if read >= full/2 {
+		t.Fatalf("node query read %d of %d payload bytes; node 0 lives only in the first blocks", read, full)
+	}
+}
+
+func TestCrossRunScan(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := genEvents(500, 4)
+	b := genEvents(700, 4)
+	writeRun(t, s, "run-a", a, WriterOptions{BlockEvents: 64})
+	writeRun(t, s, "run-b", b, WriterOptions{BlockEvents: 64})
+
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs, []string{"run-a", "run-b"}) {
+		t.Fatalf("runs = %v", runs)
+	}
+	counts := map[string]int{}
+	err = s.ScanRuns(Query{}, func(run string, ev obs.Event) error {
+		counts[run]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["run-a"] != len(a) || counts["run-b"] != len(b) {
+		t.Fatalf("cross-run scan counts %v, want %d/%d", counts, len(a), len(b))
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	for _, q := range []Query{
+		{Run: "r", From: -1},
+		{Run: "r", To: -5},
+		{Run: "r", From: 100, To: 100},
+		{Run: "r", From: 100, To: 50},
+	} {
+		if err := q.Validate(); err == nil {
+			t.Errorf("query %+v validated", q)
+		}
+	}
+	if err := (Query{Run: "r", From: 0, To: 0}).Validate(); err != nil {
+		t.Errorf("open window rejected: %v", err)
+	}
+}
+
+func TestNoSuchRun(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Events(Query{Run: "ghost"}); !errors.Is(err, ErrNoRun) {
+		t.Fatalf("missing run returned %v, want ErrNoRun", err)
+	}
+	if s.Has("ghost") {
+		t.Fatal("Has reports a run that was never written")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(300, 4)
+	writeRun(t, s, "r", evs, WriterOptions{})
+	if !s.Has("r") {
+		t.Fatal("run missing after write")
+	}
+	if err := s.Reset("r"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("r") {
+		t.Fatal("run still present after Reset")
+	}
+	// Re-writing after Reset restarts from segment 1 with a clean history.
+	writeRun(t, s, "r", evs[:100], WriterOptions{})
+	got, err := s.Events(Query{Run: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs[:100]) {
+		t.Fatalf("post-reset round trip diverged: %d events", len(got))
+	}
+}
+
+func TestRunNameEscaping(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := "sweep/child #3"
+	evs := genEvents(50, 2)
+	writeRun(t, s, run, evs, WriterOptions{})
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs, []string{run}) {
+		t.Fatalf("runs = %q", runs)
+	}
+	got, err := s.Events(Query{Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("escaped-run round trip diverged")
+	}
+}
+
+// crashCase kills the writer at block boundary k, recovers, and requires
+// (a) the recovered events are an exact prefix of the stream at block
+// granularity, (b) no torn or bad-CRC block is ever resurrected, (c)
+// appending the missing suffix afterwards reproduces the full golden dump
+// byte-for-byte. Reports whether the crash point fired at all — false
+// means k is past the last frame of a full write, ending the sweep.
+func crashCase(t *testing.T, k int64, evs []obs.Event, opts WriterOptions, golden []byte) bool {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashOpts := opts
+	crashOpts.CrashAfterBlocks = k
+	w, err := s.Writer("run", crashOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	for _, ev := range evs {
+		if err := w.Append(ev); err != nil {
+			if !errors.Is(err, ErrCrashPoint) {
+				t.Fatalf("crash-after-%d: %v", k, err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		// Every event made it in; the crash point can still land on the
+		// final seal (index frame) — a torn but fully recoverable tail.
+		if err := w.Close(); err == nil {
+			return false // clean run: k is past the stream's frame count
+		} else if !errors.Is(err, ErrCrashPoint) {
+			t.Fatalf("crash-after-%d close: %v", k, err)
+		}
+	}
+	// The dead process' store is abandoned; a fresh open recovers.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := s2.Events(Query{Run: "run"})
+	if err != nil {
+		t.Fatalf("crash-after-%d recover: %v", k, err)
+	}
+	if len(recovered) > len(evs) {
+		t.Fatalf("crash-after-%d: recovered %d events from a %d event stream", k, len(recovered), len(evs))
+	}
+	if len(recovered) > 0 && !reflect.DeepEqual(recovered, evs[:len(recovered)]) {
+		t.Fatalf("crash-after-%d: recovered events are not a prefix (len %d)", k, len(recovered))
+	}
+	// Resume: append the lost suffix and demand the full golden.
+	w2, err := s2.Writer("run", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs[len(recovered):] {
+		if err := w2.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var dump bytes.Buffer
+	if err := s2.Dump("run", &dump); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dump.Bytes(), golden) {
+		t.Fatalf("crash-after-%d: resumed dump diverged from golden (%d vs %d bytes)", k, dump.Len(), len(golden))
+	}
+	return true
+}
+
+// TestStoreCrashRecovery mirrors the queue's crash-resume soak at the
+// store's grain: sweep the injected kill across every block boundary of a
+// multi-segment write (strings, event and index frames alike) until a run
+// completes cleanly.
+func TestStoreCrashRecovery(t *testing.T) {
+	evs := genEvents(2500, 6)
+	opts := WriterOptions{BlockEvents: 199, SegmentBytes: 8 << 10}
+	golden := jsonl(t, evs)
+	var boundaries int64
+	for k := int64(1); crashCase(t, k, evs, opts, golden); k++ {
+		boundaries = k
+	}
+	if boundaries < 8 {
+		t.Fatalf("swept only %d block boundaries; want a multi-frame stream", boundaries)
+	}
+}
+
+// TestCorruptTailNeverResurrected flips bytes inside the last frame of an
+// unsealed segment: recovery must drop that block (and everything after),
+// never decode it, and report the torn bytes.
+func TestCorruptTailNeverResurrected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(1000, 4)
+	opts := WriterOptions{BlockEvents: 100, CrashAfterBlocks: 9}
+	w, err := s.Writer("run", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := w.Append(ev); err != nil {
+			break // crash point: unsealed segment left behind
+		}
+	}
+	segs, err := runSegmentPaths(s.runDir("run"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	path := segs[len(segs)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := clean.Events(Query{Run: "run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle of the final frame's payload.
+	for i := len(data) - 20; i < len(data)-10; i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := s2.Events(Query{Run: "run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("corrupt tail block survived: %d events before, %d after", len(before), len(after))
+	}
+	if !reflect.DeepEqual(after, before[:len(after)]) {
+		t.Fatal("post-corruption events are not a clean prefix")
+	}
+	st, err := s2.Stat("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornBytes == 0 {
+		t.Fatal("corruption not reported as torn bytes")
+	}
+}
+
+// TestSealedSegmentOpensWithoutFullRead proves the sorted-segment index
+// earns its keep: opening a sealed segment must not decode event payloads
+// (BytesRead stays 0 until a query runs).
+func TestSealedSegmentOpensWithoutFullRead(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRun(t, s, "run", genEvents(5000, 8), WriterOptions{BlockEvents: 128})
+	if _, err := s.Stat("run"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BytesRead(); got != 0 {
+		t.Fatalf("opening + stat decoded %d event payload bytes, want 0", got)
+	}
+}
+
+func TestTruncatedHeaderIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	run := filepath.Join(dir, "r")
+	if err := os.MkdirAll(run, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(run, "000001.seg"), []byte("GST"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Events(Query{Run: "r"}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated header returned %v, want ErrCorrupt", err)
+	}
+}

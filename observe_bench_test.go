@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // BenchmarkRunObsDisabled is the zero-overhead path: Observe nil, every
@@ -40,6 +41,48 @@ func BenchmarkRunObsEnabled(b *testing.B) {
 		if h.Metrics == nil {
 			b.Fatal("metrics missing")
 		}
+	}
+}
+
+// BenchmarkRunStored swaps the counting sink for the binary trace store:
+// the same observed run, with every event delta-encoded into segment
+// files. One writer stays open across iterations and seals outside the
+// timer — a production run opens and fsyncs its log once per minutes-long
+// run, so folding that lifecycle into this 12-event micro-run would price
+// the fsync, not the emit path. `make check` gates the measured ns/op at
+// no more than 10% over BenchmarkRunObsEnabled via benchjson -overhead —
+// the store's encode budget on the hot emit path.
+func BenchmarkRunStored(b *testing.B) {
+	s, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := s.Writer("bench", store.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := store.NewSink(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := observedSpec(&obs.Options{
+			Sinks:   []obs.Sink{sink},
+			Metrics: true,
+		})
+		h, err := RunDetailed(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Metrics == nil {
+			b.Fatal("metrics missing")
+		}
+	}
+	b.StopTimer()
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if sink.Events() == 0 {
+		b.Fatal("no events stored")
 	}
 }
 

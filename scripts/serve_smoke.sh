@@ -8,8 +8,11 @@
 # Then submits one *sharded* job (shards:4 on a four-node cluster) and
 # asserts its served result is byte-equal to the serial CLI golden: the
 # sharded engine's result-level determinism contract, end to end through
-# the job queue. Finally SIGTERMs the daemon and asserts it drains and
-# exits 0.
+# the job queue. An event-capturing run then checks the trace store path:
+# the store-served /events?run= stream and an offline `store dump` of the
+# daemon's store must both be byte-equal to the JSONL golden the gangsim
+# CLI wrote for the same spec. Finally SIGTERMs the daemon and asserts it
+# drains and exits 0.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +28,7 @@ trap cleanup EXIT
 
 $GO build -o "$workdir/gangsim" ./cmd/gangsim
 $GO build -o "$workdir/gangsimd" ./cmd/gangsimd
+$GO build -o "$workdir/store" ./cmd/store
 
 spec() {
     cat <<EOF
@@ -49,7 +53,9 @@ shard_spec ""            > "$workdir/spec3_serial.json"
 shard_spec '"shards":4,' > "$workdir/spec3.json"
 
 # CLI goldens: the same specs run directly, results canonicalised with jq.
-"$workdir/gangsim" -config "$workdir/spec1.json" -json | jq -S . > "$workdir/golden1.json"
+# spec1 also records its event stream as the JSONL golden for the trace
+# store checks below.
+"$workdir/gangsim" -config "$workdir/spec1.json" -json -events "$workdir/golden1.jsonl" | jq -S . > "$workdir/golden1.json"
 "$workdir/gangsim" -config "$workdir/spec2.json" -json | jq -S . > "$workdir/golden2.json"
 "$workdir/gangsim" -config "$workdir/spec3_serial.json" -json | jq -S . > "$workdir/golden3.json"
 
@@ -90,7 +96,8 @@ diff -u "$workdir/golden2.json" "$workdir/served2.json" \
 echo "serve-smoke: served results match CLI goldens"
 
 # Sharded job: the daemon runs the four-node spec split over four event
-# shards; its result must be byte-equal to the serial CLI golden.
+# shards; its result must be byte-equal to the serial CLI golden modulo
+# ShardsUsed, the one field documented to differ with parallelism.
 jq -n --slurpfile s "$workdir/spec3.json" '{kind:"run", spec:$s[0]}' > "$workdir/submit3.json"
 shardjob=$(curl -sSf -X POST "http://$addr/jobs" --data-binary @"$workdir/submit3.json" | jq -r .id)
 echo "serve-smoke: submitted sharded run $shardjob"
@@ -102,10 +109,43 @@ for _ in $(seq 1 300); do
     sleep 0.2
 done
 [ "$state" = done ] || { echo "sharded run stuck in state '$state'"; exit 1; }
-curl -sSf "http://$addr/jobs/$shardjob" | jq -S '.result.result' > "$workdir/served3.json"
-diff -u "$workdir/golden3.json" "$workdir/served3.json" \
+curl -sSf "http://$addr/jobs/$shardjob" | jq -S '.result.result | del(.ShardsUsed)' > "$workdir/served3.json"
+jq -S 'del(.ShardsUsed)' "$workdir/golden3.json" > "$workdir/golden3_cmp.json"
+diff -u "$workdir/golden3_cmp.json" "$workdir/served3.json" \
     || { echo "sharded served result differs from serial CLI golden"; exit 1; }
 echo "serve-smoke: sharded result matches serial CLI golden"
+
+# Trace store: an event-capturing run's history is persisted as indexed
+# binary segments under the daemon's state dir. Both the store-served
+# /events?run= stream and an offline `store dump` of the same run must be
+# byte-identical to the JSONL the gangsim CLI wrote for the same spec.
+jq -n --slurpfile s "$workdir/spec1.json" '{kind:"run", spec:$s[0], events:true}' > "$workdir/submit4.json"
+evjob=$(curl -sSf -X POST "http://$addr/jobs" --data-binary @"$workdir/submit4.json" | jq -r .id)
+echo "serve-smoke: submitted event-capturing run $evjob"
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sSf "http://$addr/jobs/$evjob" | jq -r .state)
+    [ "$state" = done ] && break
+    [ "$state" = dead ] && { echo "event run dead-lettered:"; curl -s "http://$addr/jobs/$evjob" | jq .; exit 1; }
+    sleep 0.2
+done
+[ "$state" = done ] || { echo "event run stuck in state '$state'"; exit 1; }
+
+curl -sSf "http://$addr/events?run=$evjob" > "$workdir/served.jsonl"
+cmp "$workdir/golden1.jsonl" "$workdir/served.jsonl" \
+    || { echo "store-served /events stream differs from CLI JSONL golden"; exit 1; }
+"$workdir/store" dump "$workdir/state/store" "$evjob" -o "$workdir/dump.jsonl"
+cmp "$workdir/golden1.jsonl" "$workdir/dump.jsonl" \
+    || { echo "store dump differs from CLI JSONL golden"; exit 1; }
+"$workdir/store" runs "$workdir/state/store" | grep -q "$evjob" \
+    || { echo "store runs does not list $evjob"; exit 1; }
+# A bounded range query must be a strict prefix filter of the full stream.
+curl -sSf "http://$addr/events?run=$evjob&to=2s" > "$workdir/served_head.jsonl"
+head -n "$(wc -l < "$workdir/served_head.jsonl")" "$workdir/golden1.jsonl" \
+    | cmp - "$workdir/served_head.jsonl" \
+    || { echo "ranged /events stream is not a prefix of the golden"; exit 1; }
+[ -s "$workdir/served_head.jsonl" ] || { echo "ranged /events stream is empty"; exit 1; }
+echo "serve-smoke: trace store round-trips the CLI event golden (dump + /events)"
 
 curl -sSf "http://$addr/metrics" | grep -q gangsimd_queue_depth \
     || { echo "/metrics missing queue depth"; exit 1; }
